@@ -1,0 +1,22 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one of the paper's tables or
+figures: it runs the corresponding experiment (at a reduced seed count
+so the full suite stays under a few minutes), *prints the same
+rows/series the paper reports*, and asserts the qualitative shape --
+who wins and roughly by how much.  ``pytest benchmarks/
+--benchmark-only`` therefore doubles as the reproduction's acceptance
+run; the full-scale variants are available through the CLI
+(``python -m repro all``).
+"""
+
+from __future__ import annotations
+
+
+def once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiment cells are multi-second simulations; statistical repeats
+    belong to the simulation seeds, not the wall-clock timer.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1, warmup_rounds=0)

@@ -1,0 +1,151 @@
+"""Benchmark A1-A5: the design-choice ablations of DESIGN.md Section 5."""
+
+from conftest import once
+from repro.experiments.ablations import (
+    _render_pairs,
+    _render_rows,
+    ablate_adaptive_bids,
+    ablate_bid_compute,
+    ablate_bid_window,
+    ablate_cache_capacity,
+    ablate_contest_concurrency,
+    ablate_fast_local_close,
+    ablate_noise,
+    ablate_popularity_skew,
+    ablate_prefetch,
+    ablate_schedulers,
+    ablate_shared_origin,
+)
+
+
+def test_bench_a1_bid_window(benchmark):
+    rows = once(benchmark, ablate_bid_window)
+    print()
+    print(_render_rows("A1a: bidding window sweep", rows))
+    by_setting = {row.setting: row for row in rows}
+    # A too-short window (0.1 s < the slow worker's bid latency) degrades
+    # to fallback-random assignment: far worse than the paper's 1 s.
+    assert by_setting["window=0.1s"].mean_makespan_s > 2 * by_setting["window=1.0s"].mean_makespan_s
+    # Widening beyond 1 s changes little: contests close early on bids.
+    assert by_setting["window=5.0s"].mean_makespan_s < 1.3 * by_setting["window=1.0s"].mean_makespan_s
+
+
+def test_bench_a1_bid_compute(benchmark):
+    rows = once(benchmark, ablate_bid_compute)
+    print()
+    print(_render_rows("A1b: bid computation cost sweep", rows))
+    by_setting = {row.setting: row for row in rows}
+    # Bids costing a full second blow through the 1 s window -> fallback.
+    assert (
+        by_setting["bid_compute=1.0s"].mean_makespan_s
+        > 1.5 * by_setting["bid_compute=0.0s"].mean_makespan_s
+    )
+
+
+def test_bench_a2_noise(benchmark):
+    pairs = once(benchmark, ablate_noise)
+    print()
+    print(_render_pairs("A2: noise sweep", pairs))
+    # Bidding's advantage persists at the paper-calibration sigma=0.25.
+    for label, bidding, baseline in pairs:
+        if label in ("sigma=0.0", "sigma=0.1", "sigma=0.25"):
+            assert bidding.mean_makespan_s < baseline.mean_makespan_s, label
+
+
+def test_bench_a3_scheduler_shootout(benchmark):
+    rows = once(benchmark, ablate_schedulers)
+    print()
+    print(_render_rows("A3: scheduler shoot-out", rows))
+    by_name = {row.setting: row for row in rows}
+    # Bidding is the fastest policy on the repetitive heterogeneous cell.
+    assert by_name["bidding"].mean_makespan_s == min(
+        row.mean_makespan_s for row in rows
+    )
+    # Any locality-aware pull policy beats random.
+    assert by_name["baseline"].mean_makespan_s < by_name["random"].mean_makespan_s
+    assert by_name["matchmaking"].mean_makespan_s < by_name["random"].mean_makespan_s
+
+
+def test_bench_a4_cache_capacity(benchmark):
+    pairs = once(benchmark, ablate_cache_capacity)
+    print()
+    print(_render_pairs("A4: cache capacity sweep", pairs))
+    unbounded = pairs[0]
+    smallest = pairs[-1]
+    # Bidding's data-load advantage erodes as eviction defeats locality.
+    advantage_unbounded = unbounded[2].mean_data_mb - unbounded[1].mean_data_mb
+    advantage_smallest = smallest[2].mean_data_mb - smallest[1].mean_data_mb
+    assert advantage_unbounded > advantage_smallest
+
+
+def test_bench_a6_fast_local_close(benchmark):
+    rows = once(benchmark, ablate_fast_local_close)
+    print()
+    print(_render_rows("A6: fast local close (one-slow, sparse 80%_large)", rows))
+    off, on = rows
+    # The future-work claim: bidding overhead for highly local jobs
+    # drops substantially, with no loss of locality.
+    assert on.mean_contest_s < 0.8 * off.mean_contest_s
+    assert on.mean_data_mb <= 1.1 * off.mean_data_mb
+
+
+def test_bench_a7_adaptive_bids(benchmark):
+    rows = once(benchmark, ablate_adaptive_bids)
+    print()
+    print(_render_rows("A7: adaptive bids under OU speed drift", rows))
+    off, on = rows
+    # Bias-corrected bids must not hurt, and typically help, under
+    # sustained drift between nominal and realised speeds.
+    assert on.mean_makespan_s <= 1.05 * off.mean_makespan_s
+
+
+def test_bench_a8_popularity_skew(benchmark):
+    pairs = once(benchmark, ablate_popularity_skew)
+    print()
+    print(_render_pairs("A8: popularity-skew sweep (all-equal, zipf)", pairs))
+    # More skew -> more reuse -> less data moved, for both schedulers.
+    bidding_data = [b.mean_data_mb for _label, b, _bl in pairs]
+    baseline_data = [bl.mean_data_mb for _label, _b, bl in pairs]
+    assert bidding_data[-1] < bidding_data[0]
+    assert baseline_data[-1] < baseline_data[0]
+    # Bidding stays ahead on data movement at every skew level.
+    for _label, bidding, baseline in pairs:
+        assert bidding.mean_data_mb < baseline.mean_data_mb
+
+
+def test_bench_a9_prefetch(benchmark):
+    pairs = once(benchmark, ablate_prefetch)
+    print()
+    print(_render_pairs("A9: download prefetching (all-equal, all_diff_large)", pairs))
+    (_off_label, bidding_off, baseline_off), (_on_label, bidding_on, baseline_on) = pairs
+    # Prefetch helps the queue-building scheduler...
+    assert bidding_on.mean_makespan_s < bidding_off.mean_makespan_s
+    # ...and cannot help the one-job-at-a-time pull baseline.
+    assert baseline_on.mean_makespan_s == baseline_off.mean_makespan_s
+    # It moves no extra data (same misses, earlier downloads).
+    assert bidding_on.mean_data_mb <= 1.05 * bidding_off.mean_data_mb
+
+
+def test_bench_a10_shared_origin(benchmark):
+    pairs = once(benchmark, ablate_shared_origin)
+    print()
+    print(_render_pairs("A10: shared-origin contention (all-equal, 80%_large)", pairs))
+    free = pairs[0]
+    tight = pairs[-1]
+    # Everything slows under a tight origin...
+    assert tight[1].mean_makespan_s > free[1].mean_makespan_s
+    # ...but the locality scheduler's relative advantage grows: redundant
+    # clones now also throttle everyone else's downloads.
+    gap_free = free[2].mean_makespan_s / free[1].mean_makespan_s
+    gap_tight = tight[2].mean_makespan_s / tight[1].mean_makespan_s
+    assert gap_tight > gap_free
+
+
+def test_bench_a5_contest_concurrency(benchmark):
+    rows = once(benchmark, ablate_contest_concurrency)
+    print()
+    print(_render_rows("A5: contest concurrency", rows))
+    times = [row.mean_makespan_s for row in rows]
+    # Overlapping contests must not corrupt the protocol; results stay
+    # within a tight band of the serialized default.
+    assert max(times) <= 1.2 * min(times)

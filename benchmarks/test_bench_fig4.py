@@ -1,0 +1,43 @@
+"""Benchmark E5 + E9: regenerate Figure 4 and the abstract's 3.57x claim.
+
+Paper reference points:
+* Bidding outperforms the Baseline most where workers are slow or
+  repositories large (one-slow columns),
+* it is "comparable to, or somewhat slower than" the Baseline where one
+  worker is much faster and the data small -- visible on the cold first
+  iteration, before warm-cache locality dominates,
+* abstract: "up to 3.57x faster execution times when compared to the
+  baseline centralized approach where the master controls data
+  locality" (our Spark-style locality-aware policy).
+"""
+
+from conftest import once
+from repro.experiments.fig4_breakdown import render, run_fig4
+
+BENCH_SEEDS = (11,)
+
+
+def test_bench_fig4_breakdown(benchmark):
+    result = once(benchmark, lambda: run_fig4(seeds=BENCH_SEEDS))
+    print()
+    print(render(result))
+
+    # Bidding wins every cell on the 3-iteration average.
+    for cell in result.cells:
+        assert cell.speedup > 1.0, (cell.workload, cell.profile)
+
+    # The one-slow column is bidding's strongest territory (per workload,
+    # one-slow beats the one-fast column's speedup more often than not).
+    wins = 0
+    workloads = {cell.workload for cell in result.cells}
+    for workload in workloads:
+        if result.cell(workload, "one-slow").speedup >= result.cell(workload, "one-fast").speedup:
+            wins += 1
+    assert wins >= len(workloads) / 2
+
+    # Cold first iteration: at least one cell is comparable-or-slower
+    # (<= 1.05x), reproducing the contest-overhead caveat.
+    assert any(cell.cold_speedup <= 1.05 for cell in result.cells)
+
+    # Abstract claim: "up to 3.57x" vs the centralized locality approach.
+    assert result.best_vs_centralized >= 3.0

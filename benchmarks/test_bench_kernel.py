@@ -1,0 +1,104 @@
+"""Engine microbenchmarks: DES kernel, pipe, broker and full-run throughput.
+
+Not a paper figure -- these track the *simulator's* own performance so
+regressions in the substrate are visible (the experiment matrices run
+hundreds of simulations; kernel slowdowns multiply).
+"""
+
+import numpy as np
+
+from repro.net.bandwidth import FairSharePipe
+from repro.net.broker import Broker
+from repro.sim import Simulator, Store
+from repro.experiments.runner import CellSpec, run_cell
+
+
+def test_bench_kernel_timeout_throughput(benchmark):
+    """Schedule-and-run 50k timeouts."""
+
+    def run():
+        sim = Simulator()
+        for index in range(50_000):
+            sim.timeout(float(index % 997) / 10.0)
+        sim.run()
+        return sim.now
+
+    result = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert result > 0
+
+
+def test_bench_kernel_process_pingpong(benchmark):
+    """Two processes exchanging 10k items through a Store."""
+
+    def run():
+        sim = Simulator()
+        ping, pong = Store(sim), Store(sim)
+
+        def left(sim):
+            for index in range(10_000):
+                yield ping.put(index)
+                yield pong.get()
+
+        def right(sim):
+            for _ in range(10_000):
+                value = yield ping.get()
+                yield pong.put(value)
+
+        sim.process(left(sim))
+        sim.process(right(sim))
+        sim.run()
+        return True
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1)
+
+
+def test_bench_fair_share_pipe_churn(benchmark):
+    """2k overlapping transfers through one processor-sharing pipe."""
+
+    def run():
+        sim = Simulator()
+        pipe = FairSharePipe(sim, capacity_mbps=100.0)
+        rng = np.random.default_rng(0)
+
+        def spawner(sim, pipe):
+            for _ in range(2_000):
+                pipe.transfer(float(rng.uniform(1.0, 50.0)))
+                yield sim.timeout(0.05)
+
+        sim.process(spawner(sim, pipe))
+        sim.run()
+        return sim.now
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) > 0
+
+
+def test_bench_broker_fanout(benchmark):
+    """10k messages fanned out to 20 subscribers."""
+
+    def run():
+        sim = Simulator()
+        broker = Broker(sim, base_latency=0.001)
+        subs = [broker.subscribe("t", f"s{i}", latency=0.01) for i in range(20)]
+        for index in range(10_000):
+            broker.publish("t", index)
+        sim.run()
+        return sum(sub.delivered for sub in subs)
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == 200_000
+
+
+def test_bench_full_cell_throughput(benchmark):
+    """One complete 3-iteration bidding cell (the experiment unit)."""
+
+    def run():
+        return run_cell(
+            CellSpec(
+                scheduler="bidding",
+                workload="80%_large",
+                profile="fast-slow",
+                seed=11,
+            )
+        )
+
+    results = benchmark.pedantic(run, rounds=3, iterations=1)
+    assert results[-1].jobs_completed == 120

@@ -1,0 +1,48 @@
+"""Benchmark S1-S4: the larger-scale evaluation the paper leaves as
+future work -- how the Bidding-vs-Baseline comparison moves with scale.
+"""
+
+from conftest import once
+from repro.experiments.sensitivity import (
+    render,
+    sweep_arrival_rate,
+    sweep_heterogeneity,
+    sweep_job_count,
+    sweep_worker_count,
+)
+
+
+def test_bench_s1_worker_count(benchmark):
+    points = once(benchmark, sweep_worker_count)
+    print()
+    print(render("S1: worker-count sweep (all_diff_large)", points))
+    # Bidding's advantage survives a 5x fleet scale-up.
+    assert all(point.speedup > 1.3 for point in points)
+
+
+def test_bench_s2_job_count(benchmark):
+    points = once(benchmark, sweep_job_count)
+    print()
+    print(render("S2: job-count sweep (80%_large)", points))
+    # Advantage is stable across a 20x workflow scale-up.
+    speedups = [point.speedup for point in points]
+    assert min(speedups) > 1.2
+    assert max(speedups) / min(speedups) < 1.5
+
+
+def test_bench_s3_heterogeneity(benchmark):
+    points = once(benchmark, sweep_heterogeneity)
+    print()
+    print(render("S3: heterogeneity sweep (all_diff_large)", points))
+    # The more unequal the fleet, the more speed-aware bidding pays.
+    assert points[-1].speedup > points[0].speedup
+
+
+def test_bench_s4_arrival_rate(benchmark):
+    points = once(benchmark, sweep_arrival_rate)
+    print()
+    print(render("S4: arrival-rate sweep (80%_large)", points))
+    # Contention is where scheduling matters: the burst end of the sweep
+    # shows a clear win, the sparse end approaches parity.
+    assert points[0].speedup > points[-1].speedup
+    assert points[0].speedup > 1.2

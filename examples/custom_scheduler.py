@@ -1,0 +1,119 @@
+"""Extending the engine: write your own allocation policy.
+
+The engine treats schedulers as plug-in strategy pairs
+(:class:`~repro.schedulers.base.MasterPolicy` /
+:class:`~repro.schedulers.base.WorkerPolicy`).  This example implements
+a new one from scratch -- a *greedy locality* scheduler where the master
+pushes each job to the worker already holding its repository (falling
+back to least-loaded) -- and races it against the paper's two schedulers
+on the same workload.
+
+Greedy locality is the "master controls data locality" strawman the
+paper's abstract compares against: it maximises locality but ignores
+worker speeds and committed workloads, so the holder of a popular
+repository becomes a convoy.
+
+Run with::
+
+    python examples/custom_scheduler.py
+"""
+
+from repro.cluster.profiles import profile_by_name
+from repro.engine.runtime import EngineConfig, WorkflowRuntime
+from repro.metrics.report import format_table
+from repro.schedulers.base import MasterPolicy, PassiveWorkerPolicy, SchedulerPolicy
+from repro.schedulers.registry import make_scheduler
+from repro.workload.generators import job_config_by_name
+from repro.workload.job import Job
+
+
+class GreedyLocalityMaster(MasterPolicy):
+    """Send every job to the worker that already holds its repository."""
+
+    name = "greedy-locality"
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: worker -> repositories the master believes it holds.
+        self.holdings: dict[str, set[str]] = {}
+        self.assigned_counts: dict[str, int] = {}
+
+    def start(self) -> None:
+        self.assigned_counts = {name: 0 for name in self.master.worker_names}
+
+    def on_job(self, job: Job) -> None:
+        worker = None
+        if job.repo_id is not None:
+            holders = [
+                name
+                for name, repos in self.holdings.items()
+                if job.repo_id in repos
+            ]
+            if holders:
+                worker = min(holders)  # deterministic: first holder wins
+        if worker is None:
+            worker = min(
+                self.master.worker_names,
+                key=lambda name: (self.assigned_counts[name], name),
+            )
+        self.assigned_counts[worker] += 1
+        if job.repo_id is not None:
+            self.holdings.setdefault(worker, set()).add(job.repo_id)
+        self.master.assign(job, worker)
+
+
+def make_greedy_policy() -> SchedulerPolicy:
+    """Package the custom policy exactly like the built-ins."""
+    return SchedulerPolicy(
+        name="greedy-locality",
+        master_factory=GreedyLocalityMaster,
+        worker_factory=PassiveWorkerPolicy,
+    )
+
+
+def main() -> None:
+    config = job_config_by_name("80%_large")
+    _corpus, stream = config.build(seed=5)
+
+    rows = []
+    for label, policy in [
+        ("greedy-locality", make_greedy_policy()),
+        ("baseline", make_scheduler("baseline")),
+        ("bidding", make_scheduler("bidding")),
+    ]:
+        caches = None
+        results = []
+        for iteration in range(3):
+            runtime = WorkflowRuntime(
+                profile=profile_by_name("fast-slow"),
+                stream=stream,
+                scheduler=policy,
+                config=EngineConfig(seed=5),
+                initial_caches=caches,
+                iteration=iteration,
+            )
+            results.append(runtime.run())
+            caches = runtime.cache_snapshot()
+        mean_time = sum(r.makespan_s for r in results) / len(results)
+        mean_misses = sum(r.cache_misses for r in results) / len(results)
+        mean_data = sum(r.data_load_mb for r in results) / len(results)
+        rows.append([label, f"{mean_time:.1f}", f"{mean_misses:.1f}", f"{mean_data:.0f}"])
+
+    print(
+        format_table(
+            ["scheduler", "mean time [s]", "mean misses", "mean data [MB]"],
+            rows,
+            title=(
+                "Custom greedy-locality vs the paper's schedulers\n"
+                "(80%_large, fast-slow cluster, 3 warm iterations)"
+            ),
+        )
+    )
+    print(
+        "\nGreedy locality minimises misses but convoys the repository "
+        "holder;\nbidding trades a few duplicate clones for a shorter makespan."
+    )
+
+
+if __name__ == "__main__":
+    main()

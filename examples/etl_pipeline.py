@@ -1,0 +1,147 @@
+"""A second domain on the same engine: distributed ETL over dataset shards.
+
+The paper's motivating workload is repository mining, but Crossflow's
+model -- typed jobs flowing through tasks, workers with data affinity --
+is general.  This example builds a three-stage ETL pipeline from the
+public API:
+
+    ShardRegistry (source)  ->  FeatureExtractor  ->  StatsAggregator
+
+* a *shard* is a chunk of a large dataset (the locality unit: workers
+  cache shards like they cache repository clones),
+* each extraction pass re-reads its shard (daily feature jobs over the
+  same shards -- heavy reuse, exactly where locality scheduling pays),
+* the aggregator folds per-shard statistics on the master.
+
+Run with::
+
+    python examples/etl_pipeline.py
+"""
+
+from repro.cluster.profiles import all_equal
+from repro.engine.runtime import EngineConfig, WorkflowRuntime
+from repro.metrics.report import format_table
+from repro.schedulers.registry import make_scheduler
+from repro.sim.rng import substream
+from repro.workload.job import Job, JobStream
+from repro.workload.pipeline import Pipeline, Task
+
+SEED = 77
+N_SHARDS = 24
+SHARD_MB = (200.0, 800.0)  # uniform range
+PASSES = 3  # feature passes over the same shards (e.g. 3 model versions)
+
+
+def build_workload():
+    """Shards + one extraction job per (pass, shard)."""
+    rng = substream(SEED, "shards")
+    shard_sizes = {
+        f"shard-{index:03d}": float(rng.uniform(*SHARD_MB)) for index in range(N_SHARDS)
+    }
+    jobs = []
+    for pass_index in range(PASSES):
+        for shard_id, size in shard_sizes.items():
+            jobs.append(
+                Job(
+                    job_id=f"extract-p{pass_index}-{shard_id}",
+                    task="FeatureExtractor",
+                    repo_id=shard_id,  # the data-affinity key
+                    size_mb=size,
+                    base_compute_s=2.0,
+                    payload=(pass_index, shard_id),
+                )
+            )
+    stream = JobStream.poisson(
+        jobs, 1.0, substream(SEED, "arrivals"), name="etl-features"
+    )
+    return shard_sizes, stream
+
+
+def build_pipeline(stats):
+    def extractor_handle(job):
+        pass_index, shard_id = job.payload
+        return [
+            Job(
+                job_id=f"stats-{job.job_id}",
+                task="StatsAggregator",
+                payload=(pass_index, shard_id, job.size_mb),
+            )
+        ]
+
+    def aggregator_handle(job):
+        pass_index, _shard_id, size_mb = job.payload
+        bucket = stats.setdefault(pass_index, {"shards": 0, "mb": 0.0})
+        bucket["shards"] += 1
+        bucket["mb"] += size_mb
+        return []
+
+    pipeline = Pipeline(name="etl")
+    pipeline.add_task(
+        Task(
+            name="FeatureExtractor",
+            consumes=("ExtractionJob",),
+            produces=("ShardStats",),
+            handle=extractor_handle,
+        )
+    )
+    pipeline.add_task(
+        Task(
+            name="StatsAggregator",
+            consumes=("ShardStats",),
+            handle=aggregator_handle,
+            on_master=True,
+        )
+    )
+    pipeline.connect("ExtractionJob", None, "FeatureExtractor")
+    pipeline.connect("ShardStats", "FeatureExtractor", "StatsAggregator")
+    pipeline.validate()
+    return pipeline
+
+
+def main() -> None:
+    shard_sizes, stream = build_workload()
+    total_shard_mb = sum(shard_sizes.values())
+    print(
+        f"{N_SHARDS} shards ({total_shard_mb:.0f} MB), {PASSES} feature passes "
+        f"= {len(stream)} extraction jobs\n"
+    )
+
+    rows = []
+    for scheduler in ("round-robin", "baseline", "bidding"):
+        stats: dict = {}
+        runtime = WorkflowRuntime(
+            profile=all_equal(),
+            stream=stream,
+            scheduler=make_scheduler(scheduler),
+            pipeline=build_pipeline(stats),
+            config=EngineConfig(seed=SEED),
+        )
+        result = runtime.run()
+        redundancy = result.data_load_mb / total_shard_mb
+        rows.append(
+            [
+                scheduler,
+                f"{result.makespan_s:.0f}",
+                str(result.cache_misses),
+                f"{result.data_load_mb:.0f}",
+                f"{redundancy:.2f}x",
+            ]
+        )
+        # The output is identical regardless of scheduler.
+        assert all(bucket["shards"] == N_SHARDS for bucket in stats.values())
+
+    print(
+        format_table(
+            ["scheduler", "makespan [s]", "shard fetches", "MB moved", "vs corpus size"],
+            rows,
+            title="ETL feature extraction: 3 passes over 24 shards, 5 equal workers",
+        )
+    )
+    print(
+        "\nPerfect locality would fetch each shard once (1.00x corpus size); "
+        "bidding comes closest by routing repeat passes to shard holders."
+    )
+
+
+if __name__ == "__main__":
+    main()

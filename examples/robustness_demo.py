@@ -1,0 +1,84 @@
+"""Robustness beyond the paper: worker death and message loss.
+
+The paper explicitly scopes fault tolerance out ("no specific policies
+in place to handle situations such as a worker dying after winning a
+bid").  This example shows what that default costs, and what the
+engine's extensions buy back:
+
+1. a worker dies mid-run under the paper's protocol -- the workflow
+   stalls (we bound it with a simulation deadline and report the stall);
+2. the same failure with ``fault_tolerance=True`` -- orphaned jobs are
+   reallocated and the survivors finish the workflow;
+3. 30 % control-plane message loss -- the Bidding Scheduler completes
+   regardless (the 1 s window + fallback double as loss handling).
+
+Run with::
+
+    python examples/robustness_demo.py
+"""
+
+from repro.cluster.profiles import all_equal
+from repro.engine.runtime import EngineConfig, WorkflowRuntime
+from repro.schedulers.registry import make_scheduler
+from repro.workload.generators import job_config_by_name
+
+SEED = 41
+
+
+def build(fault_tolerance=False, message_loss=0.0, max_sim_time=3000.0):
+    _corpus, stream = job_config_by_name("all_diff_equal").build(seed=SEED)
+    return WorkflowRuntime(
+        profile=all_equal(),
+        stream=stream,
+        scheduler=make_scheduler("bidding"),
+        config=EngineConfig(
+            seed=SEED,
+            fault_tolerance=fault_tolerance,
+            message_loss=message_loss,
+            max_sim_time=max_sim_time,
+        ),
+    )
+
+
+def kill_one_worker(runtime, at=100.0, name="w3"):
+    runtime.sim.timeout(at).add_callback(lambda _e: runtime.workers[name].kill())
+
+
+def main() -> None:
+    print("1) Worker w3 dies at t=100s, paper protocol (no fault tolerance):")
+    runtime = build(fault_tolerance=False)
+    kill_one_worker(runtime)
+    try:
+        runtime.run()
+        print("   unexpectedly completed!")
+    except RuntimeError:
+        print(
+            f"   STALLED as the paper predicts -- "
+            f"{runtime.master.outstanding} jobs orphaned/unfinished when the "
+            f"simulation deadline hit."
+        )
+
+    print("\n2) Same failure with the fault-tolerance extension:")
+    runtime = build(fault_tolerance=True, max_sim_time=100_000.0)
+    kill_one_worker(runtime)
+    result = runtime.run()
+    survivors = {name: count for name, count in result.per_worker_jobs.items() if count}
+    print(
+        f"   completed all {result.jobs_completed} jobs in "
+        f"{result.makespan_s:.0f}s; post-failure load: {survivors}"
+    )
+
+    print("\n3) 30% control-plane message loss (reliable data plane):")
+    runtime = build(message_loss=0.3, max_sim_time=100_000.0)
+    result = runtime.run()
+    broker = runtime.topology.broker
+    print(
+        f"   completed all {result.jobs_completed} jobs in "
+        f"{result.makespan_s:.0f}s despite {broker.dropped} dropped messages; "
+        f"{runtime.metrics.contests_fallback} contests fell back to an "
+        f"arbitrary worker."
+    )
+
+
+if __name__ == "__main__":
+    main()

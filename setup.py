@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The canonical metadata lives in ``pyproject.toml``; this file only exists
+so that ``pip install -e . --no-use-pep517 --no-build-isolation`` works in
+offline environments whose setuptools cannot build PEP 660 wheels.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,88 @@
+"""repro: reproduction of "Distributed Data Locality-Aware Job Allocation".
+
+A from-scratch Python implementation of the paper's system stack
+(Markovic, Kolovos & Indrusiak, SC-W 2023):
+
+* :mod:`repro.sim`       -- discrete-event simulation kernel,
+* :mod:`repro.net`       -- links, bandwidth sharing, noise, broker,
+* :mod:`repro.data`      -- repositories, caches, GitHub service model,
+* :mod:`repro.cluster`   -- worker specs, profiles, machines,
+* :mod:`repro.workload`  -- jobs, the Crossflow pipeline DSL, the MSR
+  workload and the paper's five job configurations,
+* :mod:`repro.engine`    -- the Crossflow-like master/worker engine,
+* :mod:`repro.schedulers`-- Baseline, Spark-style, Matchmaking, Delay,
+  Random and Round-robin allocation policies,
+* :mod:`repro.core`      -- the paper's contribution: the Bidding
+  Scheduler,
+* :mod:`repro.metrics`   -- the paper's three metrics + diagnostics,
+* :mod:`repro.experiments` -- one module per table/figure.
+
+Quickstart
+----------
+>>> from repro import compare_schedulers
+>>> rows = compare_schedulers("80%_large", "one-slow", seed=7)
+>>> sorted(rows) == sorted({"baseline", "bidding"})
+True
+"""
+
+from repro.engine.runtime import EngineConfig, WorkflowRuntime
+from repro.metrics.report import RunResult
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EngineConfig",
+    "RunResult",
+    "WorkflowRuntime",
+    "compare_schedulers",
+    "run_workflow",
+]
+
+
+def run_workflow(
+    scheduler: str = "bidding",
+    workload: str = "80%_large",
+    profile: str = "all-equal",
+    seed: int = 0,
+    iterations: int = 3,
+    **scheduler_kwargs: object,
+) -> list[RunResult]:
+    """One-call experiment: run a scheduler on a paper workload.
+
+    Returns one :class:`~repro.metrics.report.RunResult` per iteration,
+    with worker caches persisting between iterations (the paper's
+    methodology).  ``scheduler_kwargs`` forward to the scheduler factory
+    (e.g. ``window_s=0.5`` for bidding).
+    """
+    from repro.experiments.runner import CellSpec, run_cell
+
+    spec = CellSpec(
+        scheduler=scheduler,
+        workload=workload,
+        profile=profile,
+        seed=seed,
+        iterations=iterations,
+        scheduler_kwargs=tuple(sorted(scheduler_kwargs.items())),
+    )
+    return run_cell(spec)
+
+
+def compare_schedulers(
+    workload: str = "80%_large",
+    profile: str = "all-equal",
+    seed: int = 0,
+    schedulers: tuple[str, ...] = ("baseline", "bidding"),
+    iterations: int = 3,
+) -> dict[str, list[RunResult]]:
+    """Run several schedulers on the identical workload and return all
+    per-iteration results, keyed by scheduler name."""
+    return {
+        name: run_workflow(
+            scheduler=name,
+            workload=workload,
+            profile=profile,
+            seed=seed,
+            iterations=iterations,
+        )
+        for name in schedulers
+    }

@@ -1,0 +1,159 @@
+"""Command-line interface: ``python -m repro`` / ``repro``.
+
+Subcommands map one-to-one onto the experiment modules::
+
+    repro fig2                 # Figure 2: Spark vs Crossflow Baseline
+    repro fig3                 # Figures 3a/3b/3c + Section 6.3.2 claims
+    repro fig4                 # Figure 4 grid + the 3.57x abstract claim
+    repro tables               # Tables 1-3 (full MSR pipeline)
+    repro ablations            # A1-A5 design-choice sweeps
+    repro all                  # everything above, in order
+    repro run --scheduler bidding --workload 80%_large --profile one-slow
+                               # a single cell, printed per iteration
+
+``--parallel N`` fans independent simulation cells across N processes
+where the experiment supports it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.experiments import (
+    ablations,
+    fig2_spark,
+    fig3_aggregates,
+    fig4_breakdown,
+    sensitivity,
+    tables_msr,
+)
+from repro.experiments.configs import JOB_CONFIG_NAMES, PROFILE_NAMES
+from repro.experiments.runner import CellSpec, run_cell
+from repro.metrics.report import format_table
+from repro.schedulers.registry import SCHEDULERS
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Distributed Data Locality-Aware Job Allocation' "
+            "(SC-W 2023): regenerate every table and figure."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    for name, help_text in [
+        ("fig2", "Figure 2: Spark vs Crossflow Baseline"),
+        ("fig3", "Figure 3: per-workload aggregates + Section 6.3.2 claims"),
+        ("fig4", "Figure 4: per-profile breakdown + abstract's 3.57x claim"),
+        ("tables", "Tables 1-3: full MSR pipeline runs"),
+        ("ablations", "A1-A7 design-choice sweeps"),
+        ("sensitivity", "S1-S4 scale/parameter sweeps (future-work scale-up)"),
+        ("all", "run every experiment in order"),
+    ]:
+        cmd = sub.add_parser(name, help=help_text)
+        cmd.add_argument(
+            "--parallel", type=int, default=None, help="processes for independent cells"
+        )
+
+    report = sub.add_parser("report", help="write a self-contained HTML report")
+    report.add_argument("--out", default="report.html", help="output path")
+    report.add_argument("--parallel", type=int, default=None)
+
+    run = sub.add_parser("run", help="run a single experiment cell")
+    run.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="bidding")
+    run.add_argument(
+        "--workload",
+        choices=sorted(set(JOB_CONFIG_NAMES) | {"all_small_strict", "zipf"}),
+        default="80%_large",
+    )
+    run.add_argument("--profile", choices=sorted(PROFILE_NAMES), default="all-equal")
+    run.add_argument("--seed", type=int, default=11)
+    run.add_argument("--iterations", type=int, default=3)
+    run.add_argument("--cold", action="store_true", help="do not persist caches across iterations")
+    run.add_argument("--save-json", metavar="PATH", help="persist per-iteration results as JSON")
+    run.add_argument("--save-csv", metavar="PATH", help="persist per-iteration results as CSV")
+    return parser
+
+
+def _run_single(args: argparse.Namespace) -> None:
+    spec = CellSpec(
+        scheduler=args.scheduler,
+        workload=args.workload,
+        profile=args.profile,
+        seed=args.seed,
+        iterations=args.iterations,
+        keep_cache=not args.cold,
+    )
+    results = run_cell(spec)
+    if args.save_json:
+        from repro.experiments.report_io import save_json
+
+        print(f"results written to {save_json(results, args.save_json)}")
+    if args.save_csv:
+        from repro.experiments.report_io import save_csv
+
+        print(f"results written to {save_csv(results, args.save_csv)}")
+    print(
+        format_table(
+            ["iteration", "makespan [s]", "misses", "hits", "data [MB]", "jobs"],
+            [
+                [
+                    str(r.iteration),
+                    f"{r.makespan_s:.1f}",
+                    str(r.cache_misses),
+                    str(r.cache_hits),
+                    f"{r.data_load_mb:.1f}",
+                    str(r.jobs_completed),
+                ]
+                for r in results
+            ],
+            title=(
+                f"{args.scheduler} on {args.workload} / {args.profile} "
+                f"(seed {args.seed}, caches {'cold' if args.cold else 'persisting'})"
+            ),
+        )
+    )
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "fig2":
+        fig2_spark.main(parallel=args.parallel)
+    elif args.command == "fig3":
+        fig3_aggregates.main(parallel=args.parallel)
+    elif args.command == "fig4":
+        fig4_breakdown.main(parallel=args.parallel)
+    elif args.command == "tables":
+        tables_msr.main()
+    elif args.command == "ablations":
+        ablations.main()
+    elif args.command == "sensitivity":
+        sensitivity.main()
+    elif args.command == "report":
+        from repro.experiments.html_report import generate
+
+        path = generate(args.out, parallel=args.parallel)
+        print(f"report written to {path}")
+    elif args.command == "all":
+        for title, runner in [
+            ("FIGURE 2", lambda: fig2_spark.main(parallel=args.parallel)),
+            ("FIGURE 3", lambda: fig3_aggregates.main(parallel=args.parallel)),
+            ("FIGURE 4", lambda: fig4_breakdown.main(parallel=args.parallel)),
+            ("TABLES 1-3", tables_msr.main),
+            ("ABLATIONS", ablations.main),
+            ("SENSITIVITY", sensitivity.main),
+        ]:
+            print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+            runner()
+    elif args.command == "run":
+        _run_single(args)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

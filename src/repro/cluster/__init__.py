@@ -1,0 +1,35 @@
+"""Machine models: worker specifications, profiles and simulated machines.
+
+* :mod:`repro.cluster.worker_spec` -- the static description of a worker
+  (nominal network speed, read/write speed, CPU factor, cache capacity),
+* :mod:`repro.cluster.profiles` -- the paper's four worker
+  configurations (Section 6.3.1): *all-equal*, *one-fast*, *one-slow*
+  and *fast-slow*,
+* :mod:`repro.cluster.machine` -- the dynamic machine: executes
+  downloads and processing with noise, and measures realised speeds for
+  the learning mode of Section 6.4.
+"""
+
+from repro.cluster.machine import Machine
+from repro.cluster.profiles import (
+    PROFILE_BUILDERS,
+    WorkerProfile,
+    all_equal,
+    fast_slow,
+    one_fast,
+    one_slow,
+    profile_by_name,
+)
+from repro.cluster.worker_spec import WorkerSpec
+
+__all__ = [
+    "Machine",
+    "PROFILE_BUILDERS",
+    "WorkerProfile",
+    "WorkerSpec",
+    "all_equal",
+    "fast_slow",
+    "one_fast",
+    "one_slow",
+    "profile_by_name",
+]

@@ -1,0 +1,123 @@
+"""The paper's four worker configurations (Section 6.3.1).
+
+All profiles comprise five workers, as in the paper's AWS deployment:
+
+* **all-equal** -- "all workers have the same, or nearly the same,
+  network and read/write speeds".  We apply a small deterministic
+  spread (+-5 %) to honour "or nearly the same".
+* **one-fast** -- one worker significantly faster than the others.
+* **one-slow** -- one worker significantly slower than the others.
+* **fast-slow** -- one slow and one fast worker, the remaining three
+  average.
+
+Calibration
+-----------
+The paper does not publish the speed values.  We anchor the *average*
+worker at 10 MB/s download and 60 MB/s read/write -- plausible for
+t3.micro burst behaviour and, more importantly, giving
+download:processing cost ratios that make data transfer dominant, which
+is the regime the paper targets.  "Significantly faster/slower" is a
+4x factor (``FAST_FACTOR``/``SLOW_FACTOR``), chosen so a slow worker
+saddled with a large repository visibly drags the makespan, as in
+Figure 4's one-slow columns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.cluster.worker_spec import WorkerSpec
+
+#: Number of workers in every paper configuration.
+WORKER_COUNT = 5
+
+#: The anchor "average" machine.
+BASE_NETWORK_MBPS = 10.0
+BASE_RW_MBPS = 60.0
+
+#: "Significantly faster" / "significantly slower" factors.
+FAST_FACTOR = 4.0
+SLOW_FACTOR = 0.25
+
+#: Spread applied in the all-equal profile ("the same, or nearly the same").
+EQUAL_SPREAD = 0.05
+
+
+@dataclass(frozen=True)
+class WorkerProfile:
+    """A named set of worker specs (one of the paper's configurations)."""
+
+    name: str
+    specs: tuple[WorkerSpec, ...]
+
+    def __post_init__(self) -> None:
+        names = [spec.name for spec in self.specs]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate worker names in profile {self.name!r}")
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def __iter__(self):
+        return iter(self.specs)
+
+
+def _base(name: str) -> WorkerSpec:
+    return WorkerSpec(name=name, network_mbps=BASE_NETWORK_MBPS, rw_mbps=BASE_RW_MBPS)
+
+
+def all_equal() -> WorkerProfile:
+    """Five near-identical workers with a deterministic +-5 % spread."""
+    specs = []
+    for index in range(WORKER_COUNT):
+        # Symmetric spread: -5 %, -2.5 %, 0, +2.5 %, +5 %.
+        offset = (index - (WORKER_COUNT - 1) / 2) / ((WORKER_COUNT - 1) / 2)
+        factor = 1.0 + EQUAL_SPREAD * offset
+        specs.append(_base(f"w{index + 1}").scaled(factor))
+    return WorkerProfile("all-equal", tuple(specs))
+
+
+def one_fast() -> WorkerProfile:
+    """One worker 4x faster; the other four average."""
+    specs = [_base("w1").scaled(FAST_FACTOR)]
+    specs += [_base(f"w{i + 1}") for i in range(1, WORKER_COUNT)]
+    return WorkerProfile("one-fast", tuple(specs))
+
+
+def one_slow() -> WorkerProfile:
+    """One worker 4x slower; the other four average."""
+    specs = [_base("w1").scaled(SLOW_FACTOR)]
+    specs += [_base(f"w{i + 1}") for i in range(1, WORKER_COUNT)]
+    return WorkerProfile("one-slow", tuple(specs))
+
+
+def fast_slow() -> WorkerProfile:
+    """One fast, one slow, three average workers."""
+    specs = [
+        _base("w1").scaled(FAST_FACTOR),
+        _base("w2").scaled(SLOW_FACTOR),
+        _base("w3"),
+        _base("w4"),
+        _base("w5"),
+    ]
+    return WorkerProfile("fast-slow", tuple(specs))
+
+
+#: Registry of the paper's configurations by canonical name.
+PROFILE_BUILDERS: dict[str, Callable[[], WorkerProfile]] = {
+    "all-equal": all_equal,
+    "one-fast": one_fast,
+    "one-slow": one_slow,
+    "fast-slow": fast_slow,
+}
+
+
+def profile_by_name(name: str) -> WorkerProfile:
+    """Build a canonical profile by name (KeyError lists valid names)."""
+    try:
+        builder = PROFILE_BUILDERS[name]
+    except KeyError:
+        valid = ", ".join(sorted(PROFILE_BUILDERS))
+        raise KeyError(f"unknown profile {name!r}; valid: {valid}") from None
+    return builder()

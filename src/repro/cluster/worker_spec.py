@@ -1,0 +1,93 @@
+"""Static worker descriptions.
+
+A :class:`WorkerSpec` captures everything a worker "is" before the
+simulation starts: its *nominal* network and read/write speeds (the
+values it would use when constructing a bid), its CPU factor, and its
+cache capacity.  Realised speeds during execution are the nominal
+speeds perturbed by the run's noise model -- see
+:class:`repro.cluster.machine.Machine`.
+
+Units
+-----
+* speeds are megabytes per second,
+* ``cpu_factor`` scales fixed compute costs (2.0 = twice as fast),
+* capacities are megabytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Immutable description of one worker node.
+
+    Attributes
+    ----------
+    name:
+        Unique worker identifier (e.g. ``"w1"``).
+    network_mbps:
+        Nominal download bandwidth in MB/s.
+    rw_mbps:
+        Nominal disk read/write (scan) speed in MB/s; repository
+        processing time is ``size_mb / rw_mbps``.
+    cpu_factor:
+        Relative CPU speed for fixed (non-size-proportional) compute;
+        1.0 is the fleet average.
+    cache_capacity_mb:
+        Local clone-store capacity; ``inf`` reproduces the paper's
+        unbounded-cache assumption.
+    link_latency:
+        Per-download fixed overhead in seconds (connection + API
+        handshake before bytes flow).
+    """
+
+    name: str
+    network_mbps: float
+    rw_mbps: float
+    cpu_factor: float = 1.0
+    cache_capacity_mb: float = float("inf")
+    link_latency: float = 0.2
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("worker name must be non-empty")
+        if self.network_mbps <= 0:
+            raise ValueError(f"network_mbps must be positive, got {self.network_mbps}")
+        if self.rw_mbps <= 0:
+            raise ValueError(f"rw_mbps must be positive, got {self.rw_mbps}")
+        if self.cpu_factor <= 0:
+            raise ValueError(f"cpu_factor must be positive, got {self.cpu_factor}")
+        if self.cache_capacity_mb <= 0:
+            raise ValueError("cache_capacity_mb must be positive")
+        if self.link_latency < 0:
+            raise ValueError("link_latency must be non-negative")
+
+    def scaled(self, factor: float, name: str | None = None) -> "WorkerSpec":
+        """A copy with network, read/write and CPU speeds scaled by ``factor``.
+
+        Used by the profile builders: a "fast" worker is
+        ``average.scaled(4.0)``, a "slow" one ``average.scaled(0.25)``.
+        """
+        if factor <= 0:
+            raise ValueError(f"factor must be positive, got {factor}")
+        return replace(
+            self,
+            name=name if name is not None else self.name,
+            network_mbps=self.network_mbps * factor,
+            rw_mbps=self.rw_mbps * factor,
+            cpu_factor=self.cpu_factor * factor,
+        )
+
+    def renamed(self, name: str) -> "WorkerSpec":
+        """A copy with a different name."""
+        return replace(self, name=name)
+
+    def nominal_download_time(self, size_mb: float) -> float:
+        """Estimated clone time for ``size_mb`` at nominal speed."""
+        return self.link_latency + size_mb / self.network_mbps
+
+    def nominal_processing_time(self, size_mb: float, base_compute_s: float = 0.0) -> float:
+        """Estimated scan time for ``size_mb`` plus fixed compute."""
+        return base_compute_s / self.cpu_factor + size_mb / self.rw_mbps

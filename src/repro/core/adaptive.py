@@ -1,0 +1,70 @@
+"""Adaptive bid correction -- the paper's future-work learning direction.
+
+Section 7: "future work includes ... providing more intelligence for
+the worker nodes by enabling them to keep the historic data of their
+bids and completed work and use this data to learn from it and adjust
+their future bids."
+
+:class:`BidCorrector` implements exactly that loop: after every
+completed job the worker compares the cost it *promised* in its bid
+with the time the job *actually* took, and maintains an exponentially
+weighted multiplicative bias.  Future bids are scaled by that bias, so
+a worker whose link is persistently throttled below nominal stops
+underbidding (and stops winning jobs it then executes slowly).
+
+The correction factor is clamped: a single pathological job (e.g. a
+cache hit the estimate priced as a download) must not swing all future
+bids by an order of magnitude.
+"""
+
+from __future__ import annotations
+
+
+class BidCorrector:
+    """EWMA multiplicative bias correction for own-cost estimates.
+
+    Parameters
+    ----------
+    alpha:
+        Weight of the newest observation in the EWMA (0 < alpha <= 1).
+    clamp:
+        ``(lo, hi)`` bounds on the correction factor.
+    """
+
+    def __init__(self, alpha: float = 0.3, clamp: tuple[float, float] = (0.25, 4.0)) -> None:
+        if not 0 < alpha <= 1:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        lo, hi = clamp
+        if not 0 < lo <= 1 <= hi:
+            raise ValueError(f"clamp must straddle 1.0, got {clamp}")
+        self.alpha = alpha
+        self.clamp = (lo, hi)
+        self._factor = 1.0
+        #: Total (estimate, actual) pairs folded in.
+        self.observations = 0
+
+    @property
+    def factor(self) -> float:
+        """The current multiplicative correction (1.0 = unbiased)."""
+        return self._factor
+
+    def observe(self, estimated_s: float, actual_s: float) -> None:
+        """Fold one completed job's estimate-vs-actual into the bias.
+
+        Zero/negative estimates carry no signal (e.g. data-free jobs
+        whose cost rounds to nothing) and are skipped.
+        """
+        if estimated_s <= 0 or actual_s < 0:
+            return
+        ratio = actual_s / estimated_s
+        lo, hi = self.clamp
+        ratio = min(max(ratio, lo), hi)
+        self._factor = self.alpha * ratio + (1 - self.alpha) * self._factor
+        self._factor = min(max(self._factor, lo), hi)
+        self.observations += 1
+
+    def correct(self, estimated_s: float) -> float:
+        """Apply the learned bias to a fresh estimate."""
+        if estimated_s < 0:
+            raise ValueError("estimates must be non-negative")
+        return estimated_s * self._factor

@@ -1,0 +1,233 @@
+"""The master node runtime.
+
+The master performs Crossflow's framework duties -- job intake from the
+source stream, result collection, downstream-job expansion through the
+pipeline, and termination detection -- while delegating every
+*allocation* decision to the plugged
+:class:`~repro.schedulers.base.MasterPolicy`.
+
+Termination: the workflow is complete when the source stream is
+exhausted and no submitted job remains unfinished; :attr:`Master.done`
+fires at that moment, and the end-to-end execution time metric is read
+off the simulation clock (Section 6.1 metric 1).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+import numpy as np
+
+from repro.engine.messages import (
+    TOPIC_ANNOUNCE,
+    TOPIC_MASTER,
+    Assignment,
+    Hello,
+    JobCompleted,
+    WorkerFailure,
+    is_reliable,
+    worker_topic,
+)
+from repro.metrics.collector import MetricsCollector
+from repro.net.topology import Topology
+from repro.sim.events import Event
+from repro.workload.job import Job, JobStream
+from repro.workload.pipeline import Pipeline
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.schedulers.base import MasterPolicy
+    from repro.sim.kernel import Simulator
+
+
+class Master:
+    """The master node: intake, result collection, termination.
+
+    Parameters
+    ----------
+    sim, topology, metrics:
+        Shared run infrastructure.
+    pipeline:
+        The workflow graph used to expand completions into child jobs.
+    policy:
+        The master-side allocation strategy; bound here.
+    worker_names:
+        The fleet the run starts with.  The active set starts full --
+        master and workers boot together in the paper's setup -- and
+        shrinks only on worker failure.
+    stream:
+        The source job stream.
+    rng:
+        Randomness for policy fallbacks (e.g. the Bidding Scheduler's
+        "assign to an arbitrary node" rule).
+    fault_tolerance:
+        Extension flag; the paper's default is ``False`` (orphaned jobs
+        of a dead worker are lost and the workflow stalls).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        topology: Topology,
+        pipeline: Pipeline,
+        policy: "MasterPolicy",
+        worker_names: list[str],
+        stream: JobStream,
+        metrics: MetricsCollector,
+        rng: Optional[np.random.Generator] = None,
+        fault_tolerance: bool = False,
+    ) -> None:
+        if not worker_names:
+            raise ValueError("a run needs at least one worker")
+        self.sim = sim
+        self.topology = topology
+        self.pipeline = pipeline
+        self.policy = policy
+        self.metrics = metrics
+        self.stream = stream
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.fault_tolerance = fault_tolerance
+
+        self.name = "master"
+        self.inbox = topology.subscribe(TOPIC_MASTER, self.name)
+        self.worker_names = list(worker_names)
+        self.active_workers: list[str] = list(worker_names)
+        self.outstanding = 0
+        self.intake_done = False
+        #: Fires when the workflow has fully completed.
+        self.done: Event = Event(sim)
+        #: job_id -> worker, filled as assignments are decided.
+        self.assignments: dict[str, str] = {}
+        #: Results of sink jobs (job_id -> JobCompleted) for inspection.
+        self.completions: dict[str, JobCompleted] = {}
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Bind the policy and spawn the master's processes."""
+        self.policy.bind(self)
+        self.metrics.run_started(self.sim.now)
+        if self.policy.requires_upfront:
+            self.policy.on_upfront_jobs(self.stream.jobs)
+        self.policy.start()
+        self.sim.process(self._intake(), name="master-intake")
+        self.sim.process(self._main_loop(), name="master-main")
+
+    # -- helpers the policies drive --------------------------------------------
+
+    def assign(self, job: Job, worker: str) -> None:
+        """Bind ``job`` to ``worker`` and ship it (push-style policies)."""
+        self._note_assignment(job, worker)
+        self.send_to_worker(worker, Assignment(job=job))
+
+    def note_external_assignment(self, job: Job, worker: str) -> None:
+        """Record an allocation decided worker-side (pull-style accept)."""
+        self._note_assignment(job, worker)
+
+    def _note_assignment(self, job: Job, worker: str) -> None:
+        if worker not in self.worker_names:
+            raise ValueError(f"assignment to unknown worker {worker!r}")
+        self.assignments[job.job_id] = worker
+        self.metrics.job_assigned(self.sim.now, job, worker)
+
+    def send_to_worker(self, worker: str, message: object) -> None:
+        """Point-to-point message to one worker (persistent delivery for
+        job-carrying messages; see :func:`repro.engine.messages.is_reliable`)."""
+        self.topology.broker.publish(
+            worker_topic(worker), message, reliable=is_reliable(message)
+        )
+
+    def broadcast(self, message: object) -> None:
+        """Announce to every worker (the bidding contest channel)."""
+        self.topology.broker.publish(
+            TOPIC_ANNOUNCE, message, reliable=is_reliable(message)
+        )
+
+    def arbitrary_worker(self) -> str:
+        """The fallback pick when a policy must choose blindly."""
+        if not self.active_workers:
+            raise RuntimeError("no active workers left")
+        index = int(self.rng.integers(len(self.active_workers)))
+        return self.active_workers[index]
+
+    # -- intake ------------------------------------------------------------
+
+    def submit(self, job: Job) -> None:
+        """Accept a job into the workflow (source arrival or child)."""
+        self.outstanding += 1
+        self.metrics.job_submitted(self.sim.now, job)
+        task = self.pipeline.task_of(job)
+        if task.on_master:
+            # Master-side tasks (cheap aggregation sinks) run inline.
+            children = self.pipeline.on_completion(job)
+            self._complete(job, worker=None)
+            for child in children:
+                self.submit(child)
+        else:
+            self.policy.on_job(job)
+
+    def _intake(self):
+        """Feed the source stream into the workflow at its arrival times."""
+        for arrival in self.stream:
+            delay = arrival.at - self.sim.now
+            if delay > 0:
+                yield self.sim.timeout(delay)
+            self.submit(arrival.job)
+        self.intake_done = True
+        self._check_done()
+
+    # -- message handling ------------------------------------------------------
+
+    def _main_loop(self):
+        while True:
+            message = yield self.inbox.get()
+            if isinstance(message, Hello):
+                if message.worker not in self.worker_names:
+                    raise RuntimeError(f"Hello from unknown worker {message.worker!r}")
+            elif isinstance(message, JobCompleted):
+                self._on_completed(message)
+            elif isinstance(message, WorkerFailure):
+                self._on_worker_failure(message)
+            elif self.policy.on_message(message):
+                pass
+            else:
+                raise RuntimeError(
+                    f"master: unhandled message {message!r} under policy "
+                    f"{type(self.policy).__name__}"
+                )
+
+    def _on_completed(self, message: JobCompleted) -> None:
+        job = message.job
+        children = self.pipeline.on_completion(job)
+        self.policy.on_job_completed(job, message.worker)
+        # Submit children *before* completing the parent: outstanding must
+        # never dip to zero while an expansion is still pending, or the
+        # workflow would be declared done with work left.
+        for child in children:
+            self.submit(child)
+        self._complete(job, message.worker, message)
+
+    def _complete(
+        self, job: Job, worker: Optional[str], message: Optional[JobCompleted] = None
+    ) -> None:
+        self.outstanding -= 1
+        if self.outstanding < 0:
+            raise RuntimeError(f"job {job.job_id!r} completed more times than submitted")
+        self.metrics.job_completed(self.sim.now, job, worker)
+        if message is not None:
+            self.completions[job.job_id] = message
+        self._check_done()
+
+    def _on_worker_failure(self, message: WorkerFailure) -> None:
+        if message.worker in self.active_workers:
+            self.active_workers.remove(message.worker)
+        if not self.fault_tolerance:
+            # The paper: "no specific policies in place to handle ...
+            # a worker dying after winning a bid".  Orphans are lost;
+            # the workflow will stall (observable in the failure tests).
+            return
+        self.policy.on_worker_failed(message.worker, list(message.orphaned))
+
+    def _check_done(self) -> None:
+        if self.intake_done and self.outstanding == 0 and not self.done.triggered:
+            self.metrics.run_finished(self.sim.now)
+            self.done.succeed(self.sim.now)

@@ -1,0 +1,264 @@
+"""Workflow assembly and single-run driver.
+
+:class:`WorkflowRuntime` wires a complete simulated deployment -- the
+simulator, topology/broker, a master, one worker node per spec, caches,
+machines with noise -- around a chosen scheduler policy, runs the
+workflow to completion, and produces the frozen
+:class:`~repro.metrics.report.RunResult`.
+
+It also supports the cross-iteration cache persistence the paper's
+methodology depends on ("we cannot see job allocation occurring with
+respect to data storage unless workers have files saved from previous
+executions", Section 6.3.1): pass ``initial_caches`` from a previous
+run's :meth:`WorkflowRuntime.cache_snapshot`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cluster.machine import Machine
+from repro.cluster.profiles import WorkerProfile
+from repro.data.cache import WorkerCache
+from repro.engine.master import Master
+from repro.engine.worker import WorkerNode
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.report import RunResult
+from repro.net.bandwidth import FairSharePipe
+from repro.net.noise import make_noise
+from repro.net.topology import Topology, TopologyConfig
+from repro.schedulers.base import SchedulerPolicy
+from repro.sim.kernel import Simulator
+from repro.sim.rng import RandomStreams, split_seed
+from repro.workload.job import JobStream
+from repro.workload.msr import KIND_ANALYSIS, TASK_ANALYZER
+from repro.workload.pipeline import Pipeline, Task
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Run-level knobs shared by every experiment.
+
+    Attributes
+    ----------
+    seed:
+        Master seed; every stochastic component derives an independent
+        sub-stream from it.
+    noise_kind / noise_params:
+        The Section 6.3.1 noise scheme applied to realised network and
+        read/write speeds (see :mod:`repro.net.noise`).
+    topology:
+        Geo-distribution latency ranges.
+    fault_tolerance:
+        Extension flag (the paper's default is off).
+    message_loss:
+        Robustness-extension knob: probability that a *control-plane*
+        message (pull, offer-response signalling, bid, announcement) is
+        lost in transit.  Job-carrying and completion messages always
+        use persistent delivery.  The paper assumes 0.
+    trace:
+        Record the full job-lifecycle trace (disable for benchmarks).
+    max_sim_time:
+        Safety deadline -- a run not finishing by this simulated time
+        raises instead of spinning forever.
+    """
+
+    seed: int = 0
+    noise_kind: str = "lognormal"
+    noise_params: dict = field(default_factory=lambda: {"sigma": 0.25})
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    fault_tolerance: bool = False
+    message_loss: float = 0.0
+    #: Extension: workers download queued jobs' clones while the CPU is
+    #: busy (off = the paper's serial download-then-process execution).
+    prefetch: bool = False
+    #: Extension: total egress capacity of the data origin (MB/s),
+    #: fair-shared among all concurrent cluster downloads.  ``None``
+    #: (the default) models an uncontended origin, as the paper's
+    #: GitHub-scale source effectively is for 5 workers.
+    shared_origin_mbps: Optional[float] = None
+    trace: bool = True
+    max_sim_time: float = 10_000_000.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.message_loss < 1:
+            raise ValueError("message_loss must be in [0, 1)")
+        if self.max_sim_time <= 0:
+            raise ValueError("max_sim_time must be positive")
+        if self.shared_origin_mbps is not None and self.shared_origin_mbps <= 0:
+            raise ValueError("shared_origin_mbps must be positive")
+
+
+def single_task_pipeline() -> Pipeline:
+    """The trivial pipeline used by the Section 6.3 controlled runs:
+    a lone ``RepositoryAnalyzer`` consuming analysis jobs, no children."""
+    pipeline = Pipeline(name="analysis-only")
+    pipeline.add_task(Task(name=TASK_ANALYZER, consumes=(KIND_ANALYSIS,)))
+    pipeline.connect(KIND_ANALYSIS, None, TASK_ANALYZER)
+    pipeline.validate()
+    return pipeline
+
+
+class WorkflowRuntime:
+    """One fully wired workflow run."""
+
+    def __init__(
+        self,
+        profile: WorkerProfile,
+        stream: JobStream,
+        scheduler: SchedulerPolicy,
+        pipeline: Optional[Pipeline] = None,
+        pipeline_factory: Optional[object] = None,
+        config: Optional[EngineConfig] = None,
+        initial_caches: Optional[dict[str, dict[str, float]]] = None,
+        iteration: int = 0,
+    ) -> None:
+        self.profile = profile
+        self.stream = stream
+        self.scheduler = scheduler
+        self.config = config or EngineConfig()
+        self.iteration = iteration
+
+        # Each iteration of a repeated configuration is an independent
+        # execution: noise draws, topology placement and policy tie-breaks
+        # re-randomise (the workload itself is rebuilt identically by the
+        # caller).  Mixing the iteration index into the stream seed keeps
+        # iterations decorrelated without touching the cell seed.
+        streams = RandomStreams(split_seed(self.config.seed, "iteration", iteration))
+        self.sim = Simulator()
+        self.metrics = MetricsCollector()
+        self.metrics.trace.enabled = self.config.trace
+
+        # The pipeline may need simulation-bound services (e.g. the
+        # GitHub model), hence the factory variant taking the fresh sim.
+        if pipeline is not None:
+            self.pipeline = pipeline
+        elif pipeline_factory is not None:
+            self.pipeline = pipeline_factory(self.sim)
+        else:
+            self.pipeline = single_task_pipeline()
+
+        node_names = [spec.name for spec in profile.specs] + ["master"]
+        self.topology = Topology.build(
+            self.sim, node_names, self.config.topology, rng=streams.get("topology")
+        )
+        if self.config.message_loss > 0:
+            self.topology.broker.drop_probability = self.config.message_loss
+            self.topology.broker.rng = streams.get("message-loss")
+
+        origin = (
+            FairSharePipe(self.sim, capacity_mbps=self.config.shared_origin_mbps)
+            if self.config.shared_origin_mbps is not None
+            else None
+        )
+
+        self.workers: dict[str, WorkerNode] = {}
+        for spec in profile.specs:
+            cache = WorkerCache(capacity_mb=spec.cache_capacity_mb)
+            if initial_caches and spec.name in initial_caches:
+                cache.preload(initial_caches[spec.name])
+            machine = Machine(
+                self.sim,
+                spec,
+                network_noise=make_noise(self.config.noise_kind, **self.config.noise_params),
+                rw_noise=make_noise(self.config.noise_kind, **self.config.noise_params),
+                rng=streams.get("noise", spec.name),
+                upstream=origin,
+            )
+            worker = WorkerNode(
+                sim=self.sim,
+                topology=self.topology,
+                machine=machine,
+                cache=cache,
+                policy=scheduler.make_worker(),
+                metrics=self.metrics,
+                pipeline=self.pipeline,
+                prefetch=self.config.prefetch,
+            )
+            self.workers[spec.name] = worker
+
+        master_policy = scheduler.make_master()
+        self.master = Master(
+            sim=self.sim,
+            topology=self.topology,
+            pipeline=self.pipeline,
+            policy=master_policy,
+            worker_names=[spec.name for spec in profile.specs],
+            stream=stream,
+            metrics=self.metrics,
+            rng=streams.get("master"),
+            fault_tolerance=self.config.fault_tolerance,
+        )
+        # Centralized policies get the driver's block-location view
+        # (what is cached where *now*; they never see later changes).
+        if hasattr(master_policy, "cache_view"):
+            master_policy.cache_view = {
+                name: set(worker.cache.contents())
+                for name, worker in self.workers.items()
+            }
+        # Completion-time planners (BAR) additionally know the fleet's
+        # nominal speeds -- the centralized scheduler's one advantage.
+        if hasattr(master_policy, "speed_view"):
+            master_policy.speed_view = {
+                spec.name: (
+                    spec.network_mbps,
+                    spec.rw_mbps,
+                    spec.cpu_factor,
+                    spec.link_latency,
+                )
+                for spec in profile.specs
+            }
+
+    # -- execution ----------------------------------------------------------
+
+    def run(self) -> RunResult:
+        """Run the workflow to completion and summarise it.
+
+        Raises ``RuntimeError`` if the workflow does not finish within
+        ``config.max_sim_time`` simulated seconds (e.g. orphaned jobs
+        after an unhandled worker failure).
+        """
+        self.master.start()
+        for worker in self.workers.values():
+            worker.start()
+        self.sim.process(self._deadline_guard(), name="deadline-guard")
+        self.sim.run(until=self.master.done)
+        return self.result()
+
+    def _deadline_guard(self):
+        yield self.sim.timeout(self.config.max_sim_time)
+        if not self.master.done.triggered:
+            raise RuntimeError(
+                f"workflow did not complete within {self.config.max_sim_time} "
+                f"simulated seconds ({self.master.outstanding} jobs outstanding)"
+            )
+
+    def result(self) -> RunResult:
+        """Freeze the collected metrics into a RunResult."""
+        metrics = self.metrics
+        return RunResult(
+            scheduler=self.scheduler.name,
+            workload=self.stream.name,
+            profile=self.profile.name,
+            seed=self.config.seed,
+            iteration=self.iteration,
+            makespan_s=metrics.makespan,
+            cache_misses=metrics.total_cache_misses,
+            cache_hits=metrics.total_cache_hits,
+            data_load_mb=metrics.total_mb_downloaded,
+            jobs_completed=metrics.jobs_completed,
+            contest_seconds=metrics.contest_seconds,
+            contests_fallback=metrics.contests_fallback,
+            rejections=metrics.rejections_seen,
+            per_worker_mb={
+                name: block.mb_downloaded for name, block in metrics.workers.items()
+            },
+            per_worker_jobs={
+                name: block.jobs_completed for name, block in metrics.workers.items()
+            },
+        )
+
+    def cache_snapshot(self) -> dict[str, dict[str, float]]:
+        """Per-worker cache contents, for warm-started follow-up runs."""
+        return {name: worker.cache.contents() for name, worker in self.workers.items()}

@@ -1,0 +1,38 @@
+"""Evaluation harness: one module per paper table/figure plus ablations.
+
+Every experiment module exposes a ``run_*`` function returning a
+structured result object and a ``main()`` that prints the same
+rows/series the paper reports.  The mapping to the paper (see DESIGN.md
+Section 4):
+
+* :mod:`repro.experiments.fig2_spark`      -- Figure 2 (Spark vs Crossflow Baseline),
+* :mod:`repro.experiments.fig3_aggregates` -- Figures 3a/3b/3c,
+* :mod:`repro.experiments.fig4_breakdown`  -- Figure 4 + the abstract's
+  "up to 3.57x" best case,
+* :mod:`repro.experiments.tables_msr`      -- Tables 1-3 (full MSR runs),
+* :mod:`repro.experiments.ablations`       -- design-choice sweeps (A1-A4).
+
+:mod:`repro.experiments.configs` fixes the evaluation matrix and the
+calibration constants; :mod:`repro.experiments.runner` drives cells of
+that matrix with the paper's 3-iteration, cache-persisting methodology.
+"""
+
+from repro.experiments.configs import (
+    EVALUATION_SEEDS,
+    ITERATIONS,
+    JOB_CONFIG_NAMES,
+    PROFILE_NAMES,
+    default_engine_config,
+)
+from repro.experiments.runner import CellSpec, run_cell, run_matrix
+
+__all__ = [
+    "CellSpec",
+    "EVALUATION_SEEDS",
+    "ITERATIONS",
+    "JOB_CONFIG_NAMES",
+    "PROFILE_NAMES",
+    "default_engine_config",
+    "run_cell",
+    "run_matrix",
+]

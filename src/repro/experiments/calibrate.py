@@ -1,0 +1,175 @@
+"""Calibration search: score free parameters against the paper's claims.
+
+The paper withholds the physical constants its results depend on
+(worker speeds, noise law, arrival pacing).  DESIGN.md fixes defaults
+with rationale; this module makes the choice *auditable*: it sweeps a
+grid of candidate calibrations, reproduces the Section 6.3.2 headline
+aggregates under each, and scores the distance to the paper's numbers
+
+    speedup ~24.5 %, miss reduction ~49 %, data reduction ~45.3 %.
+
+Usage::
+
+    python -m repro.experiments.calibrate           # default small grid
+
+The score is the mean absolute percentage-point gap across the three
+claims -- deliberately simple, because the goal is a sanity check
+("are we in the right parameter region?"), not a fit ("tune until the
+numbers match"), which would just overfit the simulator to the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional, Sequence
+
+from repro.engine.runtime import EngineConfig
+from repro.experiments.configs import TOPOLOGY
+from repro.experiments.fig3_aggregates import Fig3Result, run_fig3
+from repro.metrics.report import format_table
+
+#: The Section 6.3.2 targets.
+PAPER_SPEEDUP_PCT = 24.5
+PAPER_MISS_REDUCTION_PCT = 49.0
+PAPER_DATA_REDUCTION_PCT = 45.3
+
+
+@dataclass(frozen=True)
+class Calibration:
+    """One candidate calibration of the unpublished constants."""
+
+    noise_sigma: float = 0.25
+    bid_window_s: float = 1.0
+    label: str = ""
+
+    def name(self) -> str:
+        return self.label or f"sigma={self.noise_sigma:g}, window={self.bid_window_s:g}s"
+
+
+@dataclass(frozen=True)
+class CalibrationScore:
+    """Measured aggregates and the distance to the paper under one
+    calibration."""
+
+    calibration: Calibration
+    speedup_pct: float
+    miss_reduction_pct: float
+    data_reduction_pct: float
+
+    @property
+    def score(self) -> float:
+        """Mean absolute percentage-point gap to the paper (lower=closer)."""
+        return (
+            abs(self.speedup_pct - PAPER_SPEEDUP_PCT)
+            + abs(self.miss_reduction_pct - PAPER_MISS_REDUCTION_PCT)
+            + abs(self.data_reduction_pct - PAPER_DATA_REDUCTION_PCT)
+        ) / 3.0
+
+
+def score_result(calibration: Calibration, result: Fig3Result) -> CalibrationScore:
+    """Fold a Figure-3 result into a score row."""
+    return CalibrationScore(
+        calibration=calibration,
+        speedup_pct=result.overall_speedup_pct,
+        miss_reduction_pct=result.overall_miss_reduction_pct,
+        data_reduction_pct=result.overall_data_reduction_pct,
+    )
+
+
+def evaluate(
+    calibration: Calibration,
+    seeds: Sequence[int] = (11,),
+    profiles: Sequence[str] = ("all-equal", "fast-slow"),
+) -> CalibrationScore:
+    """Run a reduced Figure-3 matrix under one calibration and score it."""
+    import repro.experiments.fig3_aggregates as fig3_module
+    from repro.experiments.runner import ResultSet, expand_matrix, run_matrix
+
+    engine = EngineConfig(
+        seed=0,  # replaced per cell below
+        noise_kind="lognormal" if calibration.noise_sigma > 0 else "none",
+        noise_params={"sigma": calibration.noise_sigma}
+        if calibration.noise_sigma > 0
+        else {},
+        topology=TOPOLOGY,
+        trace=False,
+    )
+    workloads = (
+        "all_diff_equal", "all_diff_large", "all_diff_small", "80%_large", "80%_small",
+    )
+    cells = expand_matrix(
+        schedulers=["baseline", "bidding"],
+        workloads=list(workloads),
+        profiles=list(profiles),
+        seeds=list(seeds),
+        scheduler_kwargs={"bidding": {"window_s": calibration.bid_window_s}},
+    )
+    cells = [replace(cell, engine=replace(engine, seed=cell.seed)) for cell in cells]
+    results = ResultSet(run_matrix(cells))
+    rows = []
+    for workload in workloads:
+        rows.append(
+            fig3_module.WorkloadRow(
+                workload=workload,
+                baseline_time_s=results.mean_makespan(scheduler="baseline", workload=workload),
+                bidding_time_s=results.mean_makespan(scheduler="bidding", workload=workload),
+                baseline_misses=results.mean_misses(scheduler="baseline", workload=workload),
+                bidding_misses=results.mean_misses(scheduler="bidding", workload=workload),
+                baseline_data_mb=results.mean_data_mb(scheduler="baseline", workload=workload),
+                bidding_data_mb=results.mean_data_mb(scheduler="bidding", workload=workload),
+            )
+        )
+    return score_result(calibration, Fig3Result(rows=tuple(rows)))
+
+
+#: The default audit grid: noise around the chosen 0.25, window around
+#: the paper's stated 1 s.
+DEFAULT_GRID: tuple[Calibration, ...] = (
+    Calibration(noise_sigma=0.0, bid_window_s=1.0),
+    Calibration(noise_sigma=0.1, bid_window_s=1.0),
+    Calibration(noise_sigma=0.25, bid_window_s=1.0, label="chosen defaults"),
+    Calibration(noise_sigma=0.5, bid_window_s=1.0),
+    Calibration(noise_sigma=0.25, bid_window_s=0.5),
+    Calibration(noise_sigma=0.25, bid_window_s=2.0),
+)
+
+
+def run_grid(
+    grid: Sequence[Calibration] = DEFAULT_GRID,
+    seeds: Sequence[int] = (11,),
+) -> list[CalibrationScore]:
+    """Score every calibration in the grid, best first."""
+    scores = [evaluate(calibration, seeds=seeds) for calibration in grid]
+    scores.sort(key=lambda row: row.score)
+    return scores
+
+
+def render(scores: Sequence[CalibrationScore]) -> str:
+    """The audit table (gap columns are measured − paper)."""
+    return format_table(
+        ["calibration", "speedup", "miss red.", "data red.", "mean |gap| [pp]"],
+        [
+            [
+                row.calibration.name(),
+                f"{row.speedup_pct:+.1f}% ({row.speedup_pct - PAPER_SPEEDUP_PCT:+.1f})",
+                f"{row.miss_reduction_pct:+.1f}% ({row.miss_reduction_pct - PAPER_MISS_REDUCTION_PCT:+.1f})",
+                f"{row.data_reduction_pct:+.1f}% ({row.data_reduction_pct - PAPER_DATA_REDUCTION_PCT:+.1f})",
+                f"{row.score:.1f}",
+            ]
+            for row in scores
+        ],
+        title=(
+            "Calibration audit vs Section 6.3.2 "
+            f"(paper: +{PAPER_SPEEDUP_PCT}%, +{PAPER_MISS_REDUCTION_PCT}%, "
+            f"+{PAPER_DATA_REDUCTION_PCT}%)"
+        ),
+    )
+
+
+def main() -> None:
+    """Run and print the default audit grid."""
+    print(render(run_grid()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

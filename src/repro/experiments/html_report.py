@@ -1,0 +1,301 @@
+"""Self-contained HTML report of the full reproduction.
+
+``python -m repro report --out report.html`` runs Figures 2-4 and
+Tables 1-3 and renders them as a single dependency-free HTML file with
+inline SVG bar charts -- the shareable artifact of the reproduction.
+
+Everything is generated from the same result objects the text harness
+prints, so the report can never drift from the numbers.
+"""
+
+from __future__ import annotations
+
+import html
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional, Sequence, Union
+
+from repro.experiments.fig2_spark import Fig2Result, run_fig2
+from repro.experiments.fig3_aggregates import Fig3Result, run_fig3
+from repro.experiments.fig4_breakdown import Fig4Result, run_fig4
+from repro.experiments.tables_msr import MSRTables, run_tables
+from repro.metrics.report import percent_change
+
+#: Series colours (paper-style two-series charts).
+COLOR_A = "#4878a8"  # baseline / crossflow
+COLOR_B = "#e08830"  # bidding / spark
+
+_CSS = """
+body { font-family: -apple-system, 'Segoe UI', Helvetica, Arial, sans-serif;
+       max-width: 920px; margin: 2rem auto; padding: 0 1rem; color: #1a1a1a; }
+h1 { border-bottom: 2px solid #ddd; padding-bottom: .4rem; }
+h2 { margin-top: 2.2rem; }
+table { border-collapse: collapse; margin: 1rem 0; font-size: .92rem; }
+th, td { border: 1px solid #ccc; padding: .35rem .7rem; text-align: right; }
+th:first-child, td:first-child { text-align: left; }
+thead { background: #f2f2f2; }
+.note { color: #555; font-size: .9rem; }
+.legend span { display: inline-block; margin-right: 1.2rem; font-size: .9rem; }
+.swatch { display: inline-block; width: .9em; height: .9em; margin-right: .35em;
+          vertical-align: -0.1em; border-radius: 2px; }
+"""
+
+
+def _svg_grouped_bars(
+    groups: Sequence[tuple[str, float, float]],
+    series_names: tuple[str, str],
+    unit: str,
+    width: int = 860,
+) -> str:
+    """Two-series grouped horizontal bar chart as inline SVG.
+
+    ``groups`` is ``(label, value_a, value_b)`` per group.
+    """
+    if not groups:
+        raise ValueError("empty groups")
+    bar_height = 16
+    gap = 6
+    group_gap = 18
+    label_width = 200
+    value_width = 90
+    chart_width = width - label_width - value_width
+    max_value = max(max(a, b) for _label, a, b in groups) or 1.0
+    group_height = 2 * bar_height + gap + group_gap
+    height = len(groups) * group_height + 10
+
+    parts = [
+        f'<svg width="{width}" height="{height}" role="img" '
+        f'xmlns="http://www.w3.org/2000/svg" font-size="12" '
+        f'font-family="inherit">'
+    ]
+    y = 5
+    for label, value_a, value_b in groups:
+        for offset, (value, color) in enumerate(
+            [(value_a, COLOR_A), (value_b, COLOR_B)]
+        ):
+            bar_y = y + offset * (bar_height + gap)
+            bar_w = max(value / max_value * chart_width, 1.0)
+            parts.append(
+                f'<text x="{label_width - 8}" y="{y + bar_height + gap / 2 + 4}" '
+                f'text-anchor="end">{html.escape(label)}</text>'
+            )
+            parts.append(
+                f'<rect x="{label_width}" y="{bar_y}" width="{bar_w:.1f}" '
+                f'height="{bar_height}" fill="{color}" rx="2"/>'
+            )
+            parts.append(
+                f'<text x="{label_width + bar_w + 6:.1f}" y="{bar_y + bar_height - 4}" '
+                f'fill="#333">{value:,.0f}{html.escape(unit)}</text>'
+            )
+        y += group_height
+    parts.append("</svg>")
+    return "".join(parts)
+
+
+def _legend(series_names: tuple[str, str]) -> str:
+    name_a, name_b = series_names
+    return (
+        '<p class="legend">'
+        f'<span><i class="swatch" style="background:{COLOR_A}"></i>{html.escape(name_a)}</span>'
+        f'<span><i class="swatch" style="background:{COLOR_B}"></i>{html.escape(name_b)}</span>'
+        "</p>"
+    )
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    head = "".join(f"<th>{html.escape(str(cell))}</th>" for cell in headers)
+    body = "".join(
+        "<tr>" + "".join(f"<td>{html.escape(str(cell))}</td>" for cell in row) + "</tr>"
+        for row in rows
+    )
+    return f"<table><thead><tr>{head}</tr></thead><tbody>{body}</tbody></table>"
+
+
+# -- sections ------------------------------------------------------------------
+
+
+def fig2_section(result: Fig2Result) -> str:
+    chart = _svg_grouped_bars(
+        [
+            (group.label, group.crossflow_time_s, group.spark_time_s)
+            for group in result.groups
+        ],
+        ("crossflow", "spark"),
+        unit="s",
+    )
+    rows = [
+        [
+            group.label,
+            f"{group.crossflow_time_s:.1f}",
+            f"{group.spark_time_s:.1f}",
+            f"{group.spark_slowdown:.2f}x",
+        ]
+        for group in result.groups
+    ]
+    return (
+        "<h2>Figure 2 — Spark vs Crossflow Baseline</h2>"
+        + _legend(("crossflow baseline", "spark-style centralized"))
+        + chart
+        + _table(["column group", "crossflow [s]", "spark [s]", "spark slower by"], rows)
+        + '<p class="note">Paper reference: 7.94x in G1, 2.3x in G2; '
+        "Spark slower in every group.</p>"
+    )
+
+
+def fig3_section(result: Fig3Result) -> str:
+    chart = _svg_grouped_bars(
+        [
+            (row.workload, row.baseline_time_s, row.bidding_time_s)
+            for row in result.rows
+        ],
+        ("baseline", "bidding"),
+        unit="s",
+    )
+    rows = [
+        [
+            row.workload,
+            f"{row.baseline_time_s:.1f}",
+            f"{row.bidding_time_s:.1f}",
+            f"{row.speedup_pct:+.1f}%",
+            f"{row.baseline_misses:.1f} / {row.bidding_misses:.1f}",
+            f"{row.baseline_data_mb:.0f} / {row.bidding_data_mb:.0f}",
+        ]
+        for row in result.rows
+    ]
+    return (
+        "<h2>Figure 3 — per-workload aggregates</h2>"
+        + _legend(("baseline", "bidding"))
+        + chart
+        + _table(
+            [
+                "workload",
+                "baseline [s]",
+                "bidding [s]",
+                "speedup",
+                "misses (base/bid)",
+                "data MB (base/bid)",
+            ],
+            rows,
+        )
+        + (
+            f'<p class="note">Aggregates: speedup {result.overall_speedup_pct:+.1f}% '
+            f"(paper ~24.5%), misses −{result.overall_miss_reduction_pct:.1f}% "
+            f"(paper ~49%), data −{result.overall_data_reduction_pct:.1f}% "
+            f"(paper ~45.3%).</p>"
+        )
+    )
+
+
+def fig4_section(result: Fig4Result) -> str:
+    profiles = sorted({cell.profile for cell in result.cells})
+    workloads = []
+    for cell in result.cells:
+        if cell.workload not in workloads:
+            workloads.append(cell.workload)
+    rows = []
+    for workload in workloads:
+        row = [workload]
+        for profile in profiles:
+            cell = result.cell(workload, profile)
+            row.append(f"{cell.speedup:.2f}x (cold {cell.cold_speedup:.2f}x)")
+        rows.append(row)
+    return (
+        "<h2>Figure 4 — breakdown per worker profile</h2>"
+        + _table(["workload"] + profiles, rows)
+        + (
+            f'<p class="note">Best case vs the centralized locality approach: '
+            f"{result.best_vs_centralized:.2f}x in "
+            f"{result.best_vs_centralized_cell} (paper abstract: up to 3.57x).</p>"
+        )
+    )
+
+
+def tables_section(tables: MSRTables) -> str:
+    chart = _svg_grouped_bars(
+        [
+            (
+                f"run {run + 1}",
+                tables.baseline[run].makespan_s,
+                tables.bidding[run].makespan_s,
+            )
+            for run in range(tables.runs)
+        ],
+        ("baseline", "bidding"),
+        unit="s",
+    )
+    rows = []
+    for run in range(tables.runs):
+        bidding_s, baseline_s = tables.time_row(run)
+        bidding_mb, baseline_mb = tables.data_row(run)
+        bidding_miss, baseline_miss = tables.miss_row(run)
+        rows.append(
+            [
+                f"run {run + 1}",
+                f"{bidding_s:.1f}",
+                f"{baseline_s:.1f}",
+                f"{percent_change(baseline_s, bidding_s):+.1f}%",
+                f"{bidding_mb:,.0f} / {baseline_mb:,.0f}",
+                f"{bidding_miss} / {baseline_miss}",
+            ]
+        )
+    return (
+        "<h2>Tables 1–3 — full MSR pipeline (cold caches)</h2>"
+        + _legend(("baseline", "bidding"))
+        + chart
+        + _table(
+            ["MSR", "bidding [s]", "baseline [s]", "time reduction", "data MB (bid/base)", "misses (bid/base)"],
+            rows,
+        )
+        + '<p class="note">Paper: bidding 10.3–25.5% faster, ~62% less data, '
+        "~half the misses.</p>"
+    )
+
+
+@dataclass
+class ReportInputs:
+    """Pre-computed experiment results feeding the report."""
+
+    fig2: Fig2Result
+    fig3: Fig3Result
+    fig4: Fig4Result
+    tables: MSRTables
+
+
+def build_report(inputs: ReportInputs) -> str:
+    """Render the full HTML document from computed results."""
+    sections = [
+        fig2_section(inputs.fig2),
+        fig3_section(inputs.fig3),
+        fig4_section(inputs.fig4),
+        tables_section(inputs.tables),
+    ]
+    return (
+        "<!DOCTYPE html><html><head><meta charset='utf-8'>"
+        "<title>Reproduction report: Distributed Data Locality-Aware Job Allocation</title>"
+        f"<style>{_CSS}</style></head><body>"
+        "<h1>Reproduction report</h1>"
+        "<p>Markovic, Kolovos &amp; Indrusiak, "
+        "<em>Distributed Data Locality-Aware Job Allocation</em> (SC-W 2023) — "
+        "all figures/tables regenerated on the simulated substrate. "
+        "See EXPERIMENTS.md for paper-vs-measured discussion.</p>"
+        + "".join(sections)
+        + "</body></html>"
+    )
+
+
+def generate(
+    out: Union[str, Path],
+    seeds: tuple[int, ...] = (11,),
+    parallel: Optional[int] = None,
+) -> Path:
+    """Run all experiments and write the report; returns the path."""
+    inputs = ReportInputs(
+        fig2=run_fig2(seeds=seeds, parallel=parallel),
+        fig3=run_fig3(seeds=seeds, parallel=parallel),
+        fig4=run_fig4(seeds=seeds, parallel=parallel),
+        tables=run_tables(),
+    )
+    path = Path(out)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(build_report(inputs), encoding="utf-8")
+    return path

@@ -1,0 +1,108 @@
+"""Result persistence: JSON and CSV export/import of run results.
+
+The experiment harness produces in-memory
+:class:`~repro.metrics.report.RunResult` lists; this module makes them
+durable so long sweeps can be saved once and re-analysed without
+re-simulating -- the usual pattern for a results directory in an HPC
+project (one JSON per sweep, CSV for spreadsheet users).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.metrics.report import RunResult
+
+#: Columns of the flat CSV form, in stable order.
+CSV_FIELDS = (
+    "scheduler",
+    "workload",
+    "profile",
+    "seed",
+    "iteration",
+    "makespan_s",
+    "cache_misses",
+    "cache_hits",
+    "data_load_mb",
+    "jobs_completed",
+    "contest_seconds",
+    "contests_fallback",
+    "rejections",
+)
+
+
+def to_dict(result: RunResult) -> dict:
+    """A JSON-safe dict for one result (per-worker maps included)."""
+    payload = asdict(result)
+    payload["per_worker_mb"] = dict(result.per_worker_mb)
+    payload["per_worker_jobs"] = dict(result.per_worker_jobs)
+    return payload
+
+
+def from_dict(payload: dict) -> RunResult:
+    """Inverse of :func:`to_dict`."""
+    return RunResult(**payload)
+
+
+def save_json(results: Iterable[RunResult], path: Union[str, Path]) -> Path:
+    """Write results as a JSON array; returns the written path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump([to_dict(result) for result in results], handle, indent=2)
+    return path
+
+
+def load_json(path: Union[str, Path]) -> list[RunResult]:
+    """Read results written by :func:`save_json`."""
+    with Path(path).open("r", encoding="utf-8") as handle:
+        payloads = json.load(handle)
+    return [from_dict(payload) for payload in payloads]
+
+
+def save_csv(results: Iterable[RunResult], path: Union[str, Path]) -> Path:
+    """Write the flat (per-run scalar) columns as CSV.
+
+    Per-worker breakdowns are JSON-only; the CSV keeps one row per run
+    for pivot-table workflows.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(CSV_FIELDS)
+        for result in results:
+            writer.writerow([getattr(result, field) for field in CSV_FIELDS])
+    return path
+
+
+def load_csv(path: Union[str, Path]) -> list[RunResult]:
+    """Read results written by :func:`save_csv` (per-worker maps empty)."""
+    results = []
+    with Path(path).open("r", encoding="utf-8", newline="") as handle:
+        reader = csv.DictReader(handle)
+        if reader.fieldnames is None or tuple(reader.fieldnames) != CSV_FIELDS:
+            raise ValueError(f"unexpected CSV header in {path}")
+        for row in reader:
+            results.append(
+                RunResult(
+                    scheduler=row["scheduler"],
+                    workload=row["workload"],
+                    profile=row["profile"],
+                    seed=int(row["seed"]),
+                    iteration=int(row["iteration"]),
+                    makespan_s=float(row["makespan_s"]),
+                    cache_misses=int(row["cache_misses"]),
+                    cache_hits=int(row["cache_hits"]),
+                    data_load_mb=float(row["data_load_mb"]),
+                    jobs_completed=int(row["jobs_completed"]),
+                    contest_seconds=float(row["contest_seconds"]),
+                    contests_fallback=int(row["contests_fallback"]),
+                    rejections=int(row["rejections"]),
+                )
+            )
+    return results

@@ -1,0 +1,196 @@
+"""Experiment cell driver.
+
+A *cell* is one (scheduler, workload, profile, seed) combination run
+for the paper's three iterations with worker caches persisting between
+iterations (Section 6.3.1's methodology).  :func:`run_cell` executes a
+cell; :func:`run_matrix` sweeps a cross product of cells, optionally in
+parallel across processes (each cell is independent, so this is an
+embarrassingly parallel map -- the classic HPC pattern).
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Optional, Sequence
+
+from repro.cluster.profiles import profile_by_name
+from repro.engine.runtime import EngineConfig, WorkflowRuntime
+from repro.experiments.configs import ITERATIONS, default_engine_config
+from repro.metrics.report import RunResult
+from repro.schedulers.registry import make_scheduler
+from repro.workload.generators import job_config_by_name
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One experiment cell: what to run and how many times.
+
+    ``scheduler_kwargs`` must be hashable-friendly (a tuple of pairs) so
+    specs stay frozen; use :meth:`with_scheduler_kwargs` to build them.
+    """
+
+    scheduler: str
+    workload: str
+    profile: str
+    seed: int
+    iterations: int = ITERATIONS
+    keep_cache: bool = True
+    scheduler_kwargs: tuple[tuple[str, object], ...] = ()
+    #: Field overrides applied to the workload's JobConfig (e.g.
+    #: ``(("mean_interarrival_s", 0.0),)`` for a burst submission).
+    workload_overrides: tuple[tuple[str, object], ...] = ()
+    engine: Optional[EngineConfig] = None
+
+    def with_scheduler_kwargs(self, **kwargs: object) -> "CellSpec":
+        """A copy with extra scheduler keyword arguments."""
+        merged = dict(self.scheduler_kwargs)
+        merged.update(kwargs)
+        return replace(self, scheduler_kwargs=tuple(sorted(merged.items())))
+
+    def engine_config(self) -> EngineConfig:
+        """The engine configuration for this cell."""
+        return self.engine if self.engine is not None else default_engine_config(self.seed)
+
+
+def run_cell(spec: CellSpec) -> list[RunResult]:
+    """Run one cell: ``iterations`` runs with persisting caches.
+
+    The workload (corpus + arrival stream) is rebuilt identically every
+    iteration from the cell seed -- the paper re-executes the same
+    configuration so data locality from prior executions can show.
+    """
+    job_config = job_config_by_name(spec.workload)
+    if spec.workload_overrides:
+        job_config = replace(job_config, **dict(spec.workload_overrides))
+    _corpus, stream = job_config.build(seed=spec.seed)
+    caches: Optional[dict[str, dict[str, float]]] = None
+    results: list[RunResult] = []
+    for iteration in range(spec.iterations):
+        scheduler = make_scheduler(spec.scheduler, **dict(spec.scheduler_kwargs))
+        runtime = WorkflowRuntime(
+            profile=profile_by_name(spec.profile),
+            stream=stream,
+            scheduler=scheduler,
+            config=spec.engine_config(),
+            initial_caches=caches if spec.keep_cache else None,
+            iteration=iteration,
+        )
+        results.append(runtime.run())
+        if spec.keep_cache:
+            caches = runtime.cache_snapshot()
+    return results
+
+
+def expand_matrix(
+    schedulers: Sequence[str],
+    workloads: Sequence[str],
+    profiles: Sequence[str],
+    seeds: Sequence[int],
+    iterations: int = ITERATIONS,
+    keep_cache: bool = True,
+    scheduler_kwargs: Optional[dict[str, dict[str, object]]] = None,
+    workload_overrides: Optional[dict[str, object]] = None,
+) -> list[CellSpec]:
+    """The cross product of cells for a sweep.
+
+    ``scheduler_kwargs`` maps scheduler name -> extra factory kwargs
+    (e.g. ``{"spark": {"use_locality": False}}``); ``workload_overrides``
+    applies JobConfig field overrides to every cell.
+    """
+    scheduler_kwargs = scheduler_kwargs or {}
+    overrides = tuple(sorted((workload_overrides or {}).items()))
+    cells = []
+    for scheduler in schedulers:
+        extra = tuple(sorted(scheduler_kwargs.get(scheduler, {}).items()))
+        for workload in workloads:
+            for profile in profiles:
+                for seed in seeds:
+                    cells.append(
+                        CellSpec(
+                            scheduler=scheduler,
+                            workload=workload,
+                            profile=profile,
+                            seed=seed,
+                            iterations=iterations,
+                            keep_cache=keep_cache,
+                            scheduler_kwargs=extra,
+                            workload_overrides=overrides,
+                        )
+                    )
+    return cells
+
+
+def run_matrix(
+    cells: Iterable[CellSpec],
+    parallel: Optional[int] = None,
+) -> list[RunResult]:
+    """Run many cells; ``parallel`` > 1 fans out across processes.
+
+    Cells are independent simulations, so process-level parallelism is
+    safe and linear; results are returned flattened, in cell order.
+    """
+    cell_list = list(cells)
+    if parallel is None:
+        parallel = 1
+    if parallel <= 1 or len(cell_list) <= 1:
+        results: list[RunResult] = []
+        for cell in cell_list:
+            results.extend(run_cell(cell))
+        return results
+    workers = min(parallel, len(cell_list), os.cpu_count() or 1)
+    results = []
+    with ProcessPoolExecutor(max_workers=workers) as pool:
+        for cell_results in pool.map(run_cell, cell_list):
+            results.extend(cell_results)
+    return results
+
+
+@dataclass
+class ResultSet:
+    """Query helper over a flat list of run results."""
+
+    results: list[RunResult] = field(default_factory=list)
+
+    def where(
+        self,
+        scheduler: Optional[str] = None,
+        workload: Optional[str] = None,
+        profile: Optional[str] = None,
+        iteration: Optional[int] = None,
+    ) -> list[RunResult]:
+        """Filter by any combination of cell labels."""
+        out = []
+        for result in self.results:
+            if scheduler is not None and result.scheduler != scheduler:
+                continue
+            if workload is not None and result.workload != workload:
+                continue
+            if profile is not None and result.profile != profile:
+                continue
+            if iteration is not None and result.iteration != iteration:
+                continue
+            out.append(result)
+        return out
+
+    def mean_makespan(self, **labels: object) -> float:
+        """Mean end-to-end time over the matching runs."""
+        rows = self.where(**labels)  # type: ignore[arg-type]
+        if not rows:
+            raise ValueError(f"no results match {labels}")
+        return sum(row.makespan_s for row in rows) / len(rows)
+
+    def mean_misses(self, **labels: object) -> float:
+        """Mean cache misses over the matching runs."""
+        rows = self.where(**labels)  # type: ignore[arg-type]
+        if not rows:
+            raise ValueError(f"no results match {labels}")
+        return sum(row.cache_misses for row in rows) / len(rows)
+
+    def mean_data_mb(self, **labels: object) -> float:
+        """Mean data load over the matching runs."""
+        rows = self.where(**labels)  # type: ignore[arg-type]
+        if not rows:
+            raise ValueError(f"no results match {labels}")
+        return sum(row.data_load_mb for row in rows) / len(rows)

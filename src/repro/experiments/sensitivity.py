@@ -1,0 +1,193 @@
+"""Scale and parameter sensitivity -- the "larger-scale evaluation"
+future-work item (Section 7).
+
+The paper evaluates 5 workers x 120 jobs.  These sweeps ask how the
+Bidding-vs-Baseline comparison moves as the deployment grows or the
+environment changes:
+
+* :func:`sweep_worker_count`  -- 5 -> 25 workers (contest cost grows
+  with fleet size: every worker bids on every job),
+* :func:`sweep_job_count`     -- 120 -> 1200 jobs (longer workflows
+  amortise bidding overhead; the paper predicts bidding favours
+  "long-running workflows"),
+* :func:`sweep_heterogeneity` -- fast/slow factor 1x -> 8x (the more
+  unequal the fleet, the more speed-aware allocation matters),
+* :func:`sweep_arrival_rate`  -- burst -> sparse arrivals (saturation
+  controls how much committed workload dominates bids).
+
+Each sweep returns rows of (setting, bidding, baseline) mean metrics
+over the standard 3 cache-persisting iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.cluster.profiles import BASE_NETWORK_MBPS, BASE_RW_MBPS, WorkerProfile
+from repro.cluster.worker_spec import WorkerSpec
+from repro.engine.runtime import WorkflowRuntime
+from repro.experiments.configs import default_engine_config
+from repro.metrics.report import RunResult, format_table
+from repro.schedulers.registry import make_scheduler
+from repro.workload.generators import job_config_by_name
+
+DEFAULT_SEED = 11
+ITERATIONS = 3
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep setting's mean makespans and data loads."""
+
+    setting: str
+    bidding_time_s: float
+    baseline_time_s: float
+    bidding_data_mb: float
+    baseline_data_mb: float
+
+    @property
+    def speedup(self) -> float:
+        """Baseline/bidding mean-time ratio at this setting."""
+        return self.baseline_time_s / self.bidding_time_s
+
+
+def _mean(results: Sequence[RunResult], field: str) -> float:
+    return sum(getattr(result, field) for result in results) / len(results)
+
+
+def _run(profile: WorkerProfile, stream, scheduler_name: str, seed: int) -> list[RunResult]:
+    caches = None
+    results = []
+    for iteration in range(ITERATIONS):
+        runtime = WorkflowRuntime(
+            profile=profile,
+            stream=stream,
+            scheduler=make_scheduler(scheduler_name),
+            config=default_engine_config(seed),
+            initial_caches=caches,
+            iteration=iteration,
+        )
+        results.append(runtime.run())
+        caches = runtime.cache_snapshot()
+    return results
+
+
+def _point(setting: str, profile: WorkerProfile, stream, seed: int) -> SweepPoint:
+    bidding = _run(profile, stream, "bidding", seed)
+    baseline = _run(profile, stream, "baseline", seed)
+    return SweepPoint(
+        setting=setting,
+        bidding_time_s=_mean(bidding, "makespan_s"),
+        baseline_time_s=_mean(baseline, "makespan_s"),
+        bidding_data_mb=_mean(bidding, "data_load_mb"),
+        baseline_data_mb=_mean(baseline, "data_load_mb"),
+    )
+
+
+def _uniform_profile(n: int) -> WorkerProfile:
+    specs = tuple(
+        WorkerSpec(name=f"w{i + 1}", network_mbps=BASE_NETWORK_MBPS, rw_mbps=BASE_RW_MBPS)
+        for i in range(n)
+    )
+    return WorkerProfile(f"equal-{n}", specs)
+
+
+def sweep_worker_count(
+    counts: Sequence[int] = (5, 10, 15, 25),
+    workload: str = "all_diff_large",
+    seed: int = DEFAULT_SEED,
+) -> list[SweepPoint]:
+    """Grow the fleet at fixed workload size."""
+    config = job_config_by_name(workload)
+    _corpus, stream = config.build(seed=seed)
+    return [
+        _point(f"workers={count}", _uniform_profile(count), stream, seed)
+        for count in counts
+    ]
+
+
+def sweep_job_count(
+    counts: Sequence[int] = (60, 120, 360, 1200),
+    workload: str = "80%_large",
+    seed: int = DEFAULT_SEED,
+) -> list[SweepPoint]:
+    """Grow the workflow at fixed fleet size (5 workers)."""
+    points = []
+    for count in counts:
+        config = replace(job_config_by_name(workload), n_jobs=count)
+        _corpus, stream = config.build(seed=seed)
+        points.append(_point(f"jobs={count}", _uniform_profile(5), stream, seed))
+    return points
+
+
+def sweep_heterogeneity(
+    factors: Sequence[float] = (1.0, 2.0, 4.0, 8.0),
+    workload: str = "all_diff_large",
+    seed: int = DEFAULT_SEED,
+) -> list[SweepPoint]:
+    """One worker ``factor``-times faster, one ``factor``-times slower."""
+    config = job_config_by_name(workload)
+    _corpus, stream = config.build(seed=seed)
+    points = []
+    for factor in factors:
+        base = WorkerSpec(name="w0", network_mbps=BASE_NETWORK_MBPS, rw_mbps=BASE_RW_MBPS)
+        specs = (
+            base.scaled(factor, name="w1"),
+            base.scaled(1.0 / factor, name="w2"),
+            base.renamed("w3"),
+            base.renamed("w4"),
+            base.renamed("w5"),
+        )
+        profile = WorkerProfile(f"spread-{factor:g}x", specs)
+        points.append(_point(f"spread={factor:g}x", profile, stream, seed))
+    return points
+
+
+def sweep_arrival_rate(
+    interarrivals: Sequence[float] = (0.0, 0.5, 1.0, 4.0, 10.0),
+    workload: str = "80%_large",
+    seed: int = DEFAULT_SEED,
+) -> list[SweepPoint]:
+    """From burst submission to a sparse stream."""
+    points = []
+    for gap in interarrivals:
+        config = replace(job_config_by_name(workload), mean_interarrival_s=gap)
+        _corpus, stream = config.build(seed=seed)
+        label = "burst" if gap == 0.0 else f"gap={gap:g}s"
+        points.append(_point(label, _uniform_profile(5), stream, seed))
+    return points
+
+
+def render(title: str, points: Sequence[SweepPoint]) -> str:
+    """One sweep as a table with the speedup trend."""
+    return format_table(
+        ["setting", "bidding [s]", "baseline [s]", "speedup", "bidding [MB]", "baseline [MB]"],
+        [
+            [
+                point.setting,
+                f"{point.bidding_time_s:.1f}",
+                f"{point.baseline_time_s:.1f}",
+                f"{point.speedup:.2f}x",
+                f"{point.bidding_data_mb:.0f}",
+                f"{point.baseline_data_mb:.0f}",
+            ]
+            for point in points
+        ],
+        title=title,
+    )
+
+
+def main() -> None:
+    """Run and print every sweep (the CLI entry point)."""
+    print(render("S1: worker-count sweep (all_diff_large)", sweep_worker_count()))
+    print()
+    print(render("S2: job-count sweep (80%_large)", sweep_job_count()))
+    print()
+    print(render("S3: heterogeneity sweep (all_diff_large)", sweep_heterogeneity()))
+    print()
+    print(render("S4: arrival-rate sweep (80%_large)", sweep_arrival_rate()))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,274 @@
+"""Trace analytics: utilization, queueing and scheduling-delay statistics.
+
+The paper's three metrics say *what* happened; these tools say *why*:
+
+* :func:`worker_utilization` -- busy fraction per worker (exposes the
+  straggler effect behind Figure 2's Spark columns),
+* :func:`allocation_delays` -- submission-to-assignment delay per job
+  (the Bidding Scheduler's contest overhead, the Baseline's rejection
+  round-trips),
+* :func:`queue_timeline` -- per-worker backlog over time,
+* :func:`gantt` -- per-job execution spans, exportable for plotting,
+* :func:`summarize` -- one-call distribution summary used by the
+  experiment reports.
+
+All functions are pure readers over a completed run's
+:class:`~repro.metrics.trace.Trace` (the trace must have been enabled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.metrics.trace import Trace
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Five-number-plus-mean summary of a sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p90: float
+    p99: float
+    max: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "DistributionSummary":
+        """Summarise ``values`` (raises on empty input)."""
+        if len(values) == 0:
+            raise ValueError("cannot summarise an empty sample")
+        array = np.asarray(values, dtype=float)
+        return cls(
+            count=int(array.size),
+            mean=float(array.mean()),
+            p50=float(np.percentile(array, 50)),
+            p90=float(np.percentile(array, 90)),
+            p99=float(np.percentile(array, 99)),
+            max=float(array.max()),
+        )
+
+
+@dataclass(frozen=True)
+class GanttSpan:
+    """One job's execution span on one worker."""
+
+    job_id: str
+    worker: str
+    started: float
+    finished: float
+
+    @property
+    def duration(self) -> float:
+        return self.finished - self.started
+
+
+def _require_trace(trace: Trace) -> None:
+    if not trace.enabled and len(trace) == 0:
+        raise ValueError(
+            "trace is empty; run with EngineConfig(trace=True) to use analysis"
+        )
+
+
+def gantt(trace: Trace) -> list[GanttSpan]:
+    """Per-job execution spans, ordered by start time.
+
+    Jobs killed mid-execution (no completion event) are omitted.
+    """
+    _require_trace(trace)
+    started: dict[str, tuple[float, str]] = {}
+    spans: list[GanttSpan] = []
+    for event in trace:
+        if event.kind == "started" and event.worker is not None:
+            started[event.job_id] = (event.time, event.worker)
+        elif event.kind == "completed" and event.job_id in started:
+            begin, worker = started.pop(event.job_id)
+            spans.append(
+                GanttSpan(job_id=event.job_id, worker=worker, started=begin, finished=event.time)
+            )
+    spans.sort(key=lambda span: (span.started, span.job_id))
+    return spans
+
+
+def worker_utilization(trace: Trace, makespan: float) -> dict[str, float]:
+    """Fraction of the run each worker spent executing jobs.
+
+    A perfectly balanced cluster shows equal values; Spark's straggler
+    columns show one worker near 1.0 with the rest idle at the end.
+    """
+    if makespan <= 0:
+        raise ValueError("makespan must be positive")
+    busy: dict[str, float] = {}
+    for span in gantt(trace):
+        busy[span.worker] = busy.get(span.worker, 0.0) + span.duration
+    return {worker: seconds / makespan for worker, seconds in busy.items()}
+
+
+def allocation_delays(trace: Trace) -> dict[str, float]:
+    """Submission-to-assignment delay per job (scheduling overhead)."""
+    _require_trace(trace)
+    delays: dict[str, float] = {}
+    submitted: dict[str, float] = {}
+    for event in trace:
+        if event.kind == "submitted":
+            submitted[event.job_id] = event.time
+        elif event.kind == "assigned" and event.job_id in submitted:
+            delays.setdefault(event.job_id, event.time - submitted[event.job_id])
+    return delays
+
+
+def job_latencies(trace: Trace) -> dict[str, float]:
+    """Submission-to-completion latency per job."""
+    _require_trace(trace)
+    latencies: dict[str, float] = {}
+    submitted: dict[str, float] = {}
+    for event in trace:
+        if event.kind == "submitted":
+            submitted[event.job_id] = event.time
+        elif event.kind == "completed" and event.job_id in submitted:
+            latencies.setdefault(event.job_id, event.time - submitted[event.job_id])
+    return latencies
+
+
+def queue_timeline(trace: Trace, worker: str) -> list[tuple[float, int]]:
+    """(time, backlog) steps for one worker.
+
+    Backlog counts jobs assigned/accepted but not yet completed there.
+    """
+    _require_trace(trace)
+    steps: list[tuple[float, int]] = []
+    backlog = 0
+    for event in trace:
+        if event.worker != worker:
+            continue
+        if event.kind in ("assigned", "accepted"):
+            backlog += 1
+            steps.append((event.time, backlog))
+        elif event.kind == "completed":
+            backlog -= 1
+            steps.append((event.time, backlog))
+    return steps
+
+
+def download_concurrency(trace: Trace) -> int:
+    """Peak number of simultaneous downloads across the cluster."""
+    _require_trace(trace)
+    events: list[tuple[float, int]] = []
+    for event in trace:
+        if event.kind == "download_started":
+            events.append((event.time, 1))
+        elif event.kind == "download_finished":
+            events.append((event.time, -1))
+    events.sort()
+    peak = current = 0
+    for _time, delta in events:
+        current += delta
+        peak = max(peak, current)
+    return peak
+
+
+def narrate(trace: Trace, job_id: Optional[str] = None, limit: int = 50) -> str:
+    """Human-readable lifecycle log lines from a trace.
+
+    ``job_id`` filters to one job's story; ``limit`` caps the output.
+    Useful in demos and when debugging a scheduling decision by hand.
+    """
+    _require_trace(trace)
+    templates = {
+        "submitted": "job {job} submitted to the master",
+        "announced": "bidding contest opened for {job}",
+        "bid": "{worker} bid {detail:.2f}s on {job}",
+        "contest_closed": "contest for {job} closed ({detail}) -> {worker}",
+        "offered": "{job} offered to {worker}",
+        "rejected": "{worker} declined {job}",
+        "accepted": "{worker} accepted {job}",
+        "assigned": "{job} assigned to {worker}",
+        "started": "{worker} started {job}",
+        "download_started": "{worker} downloading {detail} MB for {job}",
+        "download_finished": "{worker} finished downloading for {job}",
+        "cache_hit": "{worker} had {job}'s data locally",
+        "completed": "{worker} completed {job}",
+    }
+    lines = []
+    events = trace.for_job(job_id) if job_id is not None else list(trace)
+    for event in events[:limit]:
+        template = templates.get(event.kind, "{job}: " + event.kind)
+        try:
+            body = template.format(job=event.job_id, worker=event.worker, detail=event.detail)
+        except (ValueError, TypeError):
+            body = template.replace("{detail:.2f}", "{detail}").format(
+                job=event.job_id, worker=event.worker, detail=event.detail
+            )
+        lines.append(f"[{event.time:10.3f}s] {body}")
+    if job_id is None and len(list(trace)) > limit:
+        lines.append(f"... ({len(list(trace)) - limit} more events)")
+    return "\n".join(lines)
+
+
+def ascii_gantt(
+    trace: Trace,
+    makespan: float,
+    width: int = 72,
+    max_workers: int = 10,
+) -> str:
+    """Render per-worker execution timelines as text.
+
+    Each worker gets one row; ``#`` marks time executing, ``.`` idle.
+    Sub-cell busy fractions round to the nearest state, so short jobs
+    may be invisible at small widths -- this is a load-shape overview
+    (stragglers, idle tails), not a per-job chart.
+    """
+    if makespan <= 0:
+        raise ValueError("makespan must be positive")
+    if width < 10:
+        raise ValueError("width must be at least 10")
+    spans = gantt(trace)
+    by_worker: dict[str, list[GanttSpan]] = {}
+    for span in spans:
+        by_worker.setdefault(span.worker, []).append(span)
+    lines = []
+    cell = makespan / width
+    for worker in sorted(by_worker)[:max_workers]:
+        busy = np.zeros(width)
+        for span in by_worker[worker]:
+            start_cell = int(span.started / cell)
+            end_cell = min(int(span.finished / cell), width - 1)
+            busy[start_cell : end_cell + 1] += 1
+        row = "".join("#" if value > 0 else "." for value in busy)
+        lines.append(f"{worker:>8s} |{row}|")
+    lines.append(f"{'':>8s}  0s{' ' * (width - 10)}{makespan:.0f}s")
+    return "\n".join(lines)
+
+
+@dataclass(frozen=True)
+class RunAnalysis:
+    """One-call analysis bundle over a completed, traced run."""
+
+    utilization: dict[str, float]
+    allocation_delay: DistributionSummary
+    job_latency: DistributionSummary
+    peak_download_concurrency: int
+
+    @property
+    def utilization_imbalance(self) -> float:
+        """Max/min utilization ratio (1.0 = perfectly balanced)."""
+        values = [v for v in self.utilization.values() if v > 0]
+        if not values:
+            return 1.0
+        return max(values) / min(values)
+
+
+def summarize(trace: Trace, makespan: float) -> RunAnalysis:
+    """Build the full :class:`RunAnalysis` for a traced run."""
+    delays = list(allocation_delays(trace).values())
+    latencies = list(job_latencies(trace).values())
+    return RunAnalysis(
+        utilization=worker_utilization(trace, makespan),
+        allocation_delay=DistributionSummary.of(delays if delays else [0.0]),
+        job_latency=DistributionSummary.of(latencies if latencies else [0.0]),
+        peak_download_concurrency=download_concurrency(trace),
+    )

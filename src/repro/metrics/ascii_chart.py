@@ -1,0 +1,93 @@
+"""Terminal bar charts for the experiment harness.
+
+The paper's Figures 2-4 are grouped bar charts; this module renders the
+same series as unicode horizontal bars so the harness output *looks*
+like the figures it regenerates -- no plotting dependency required.
+
+Example
+-------
+>>> print(bar_chart(
+...     [("baseline", 854.3), ("bidding", 484.2)],
+...     title="all_diff_equal", unit="s"))
+all_diff_equal
+baseline  ████████████████████████████████████████ 854.3 s
+bidding   ██████████████████████▋ 484.2 s
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+#: Eighth-block characters for sub-cell bar resolution.
+_BLOCKS = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
+_FULL = "█"
+
+
+def _bar(value: float, max_value: float, width: int) -> str:
+    """A horizontal bar of ``value`` scaled so ``max_value`` fills ``width``."""
+    if max_value <= 0:
+        return ""
+    cells = value / max_value * width
+    full = int(cells)
+    remainder = cells - full
+    eighths = int(remainder * 8)
+    return _FULL * full + _BLOCKS[eighths]
+
+
+def bar_chart(
+    series: Sequence[tuple[str, float]],
+    title: Optional[str] = None,
+    unit: str = "",
+    width: int = 40,
+    fmt: str = "{:.1f}",
+) -> str:
+    """Render labelled values as horizontal bars (longest bar = max value)."""
+    if not series:
+        raise ValueError("empty series")
+    if width < 1:
+        raise ValueError("width must be positive")
+    for _label, value in series:
+        if value < 0:
+            raise ValueError("bar values must be non-negative")
+    label_width = max(len(label) for label, _ in series)
+    max_value = max(value for _, value in series)
+    lines = [title] if title else []
+    for label, value in series:
+        suffix = f" {unit}" if unit else ""
+        lines.append(
+            f"{label.ljust(label_width)}  {_bar(value, max_value, width)} "
+            f"{fmt.format(value)}{suffix}"
+        )
+    return "\n".join(lines)
+
+
+def grouped_bar_chart(
+    groups: Sequence[tuple[str, Sequence[tuple[str, float]]]],
+    title: Optional[str] = None,
+    unit: str = "",
+    width: int = 40,
+    fmt: str = "{:.1f}",
+) -> str:
+    """Render the paper's grouped-bar layout: one block per group, bars
+    scaled globally so groups are visually comparable."""
+    if not groups:
+        raise ValueError("empty groups")
+    all_values = [value for _, series in groups for _, value in series]
+    if not all_values:
+        raise ValueError("groups contain no series")
+    max_value = max(all_values)
+    label_width = max(
+        len(label) for _, series in groups for label, _ in series
+    )
+    lines = [title] if title else []
+    for group_name, series in groups:
+        lines.append(f"{group_name}:")
+        for label, value in series:
+            if value < 0:
+                raise ValueError("bar values must be non-negative")
+            suffix = f" {unit}" if unit else ""
+            lines.append(
+                f"  {label.ljust(label_width)}  {_bar(value, max_value, width)} "
+                f"{fmt.format(value)}{suffix}"
+            )
+    return "\n".join(lines)

@@ -1,0 +1,170 @@
+"""Per-run metric accumulation.
+
+:class:`MetricsCollector` is the single object engine components report
+into during a run.  It accumulates the paper's three headline metrics
+(Section 6.1) plus the per-worker breakdowns and scheduling-overhead
+diagnostics that the analysis in Sections 6.3.2 and 6.4 relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.metrics.trace import Trace
+from repro.workload.job import Job
+
+
+@dataclass
+class WorkerMetrics:
+    """Counters for one worker."""
+
+    name: str
+    cache_misses: int = 0
+    cache_hits: int = 0
+    mb_downloaded: float = 0.0
+    jobs_completed: int = 0
+    busy_seconds: float = 0.0
+    bids_submitted: int = 0
+    offers_rejected: int = 0
+    offers_accepted: int = 0
+
+
+@dataclass
+class MetricsCollector:
+    """Accumulates everything measured during one workflow run."""
+
+    trace: Trace = field(default_factory=Trace)
+    workers: dict[str, WorkerMetrics] = field(default_factory=dict)
+
+    # Run boundaries.
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+
+    # Master-side counters.
+    jobs_submitted: int = 0
+    jobs_completed: int = 0
+    contests_opened: int = 0
+    contests_closed_full: int = 0  # all workers bid before the window
+    contests_closed_fast: int = 0  # fast-local-close short circuit (extension)
+    contests_closed_timeout: int = 0  # window expired with >=1 bid
+    contests_fallback: int = 0  # window expired with zero bids
+    contest_seconds: float = 0.0  # total time jobs spent in open contests
+    offers_made: int = 0
+    rejections_seen: int = 0
+
+    def worker(self, name: str) -> WorkerMetrics:
+        """Get-or-create the counter block for ``name``."""
+        block = self.workers.get(name)
+        if block is None:
+            block = WorkerMetrics(name=name)
+            self.workers[name] = block
+        return block
+
+    # -- run boundaries ----------------------------------------------------
+
+    def run_started(self, now: float) -> None:
+        """Mark workflow start (master and workers up)."""
+        self.started_at = now
+
+    def run_finished(self, now: float) -> None:
+        """Mark workflow completion (all jobs done)."""
+        self.finished_at = now
+
+    @property
+    def makespan(self) -> float:
+        """End-to-end execution time (Section 6.1 metric 1)."""
+        if self.started_at is None or self.finished_at is None:
+            raise RuntimeError("run has not completed")
+        return self.finished_at - self.started_at
+
+    # -- the locality metrics ------------------------------------------------
+
+    def record_cache_hit(self, now: float, worker: str, job: Job) -> None:
+        """The worker had the job's data locally."""
+        self.worker(worker).cache_hits += 1
+        self.trace.record(now, "cache_hit", job.job_id, worker, job.repo_id)
+
+    def record_cache_miss(self, now: float, worker: str, job: Job) -> None:
+        """Section 6.1 metric 3: data had to be downloaded/relocated."""
+        self.worker(worker).cache_misses += 1
+        self.trace.record(now, "download_started", job.job_id, worker, job.size_mb)
+
+    def record_download(self, now: float, worker: str, job: Job, mb: float) -> None:
+        """Section 6.1 metric 2: non-local megabytes transferred."""
+        self.worker(worker).mb_downloaded += mb
+        self.trace.record(now, "download_finished", job.job_id, worker, mb)
+
+    @property
+    def total_cache_misses(self) -> int:
+        """Cluster-wide cache misses for the run."""
+        return sum(w.cache_misses for w in self.workers.values())
+
+    @property
+    def total_cache_hits(self) -> int:
+        """Cluster-wide cache hits for the run."""
+        return sum(w.cache_hits for w in self.workers.values())
+
+    @property
+    def total_mb_downloaded(self) -> float:
+        """Cluster-wide data load (MB) for the run."""
+        return sum(w.mb_downloaded for w in self.workers.values())
+
+    # -- job lifecycle -------------------------------------------------------
+
+    def job_submitted(self, now: float, job: Job) -> None:
+        self.jobs_submitted += 1
+        self.trace.record(now, "submitted", job.job_id)
+
+    def job_assigned(self, now: float, job: Job, worker: str) -> None:
+        self.trace.record(now, "assigned", job.job_id, worker)
+
+    def job_started(self, now: float, job: Job, worker: str) -> None:
+        self.trace.record(now, "started", job.job_id, worker)
+
+    def job_completed(self, now: float, job: Job, worker: Optional[str]) -> None:
+        self.jobs_completed += 1
+        if worker is not None:
+            self.worker(worker).jobs_completed += 1
+        self.trace.record(now, "completed", job.job_id, worker)
+
+    # -- scheduling overhead ---------------------------------------------------
+
+    def contest_opened(self, now: float, job: Job) -> None:
+        self.contests_opened += 1
+        self.trace.record(now, "announced", job.job_id)
+
+    def bid_received(self, now: float, job_id: str, worker: str, cost: float) -> None:
+        self.worker(worker).bids_submitted += 1
+        self.trace.record(now, "bid", job_id, worker, cost)
+
+    def contest_closed(
+        self, now: float, job: Job, winner: Optional[str], duration: float, outcome: str
+    ) -> None:
+        """Record contest resolution; ``outcome`` is one of ``full``/
+        ``fast``/``timeout``/``fallback``."""
+        if outcome == "full":
+            self.contests_closed_full += 1
+        elif outcome == "fast":
+            self.contests_closed_fast += 1
+        elif outcome == "timeout":
+            self.contests_closed_timeout += 1
+        elif outcome == "fallback":
+            self.contests_fallback += 1
+        else:
+            raise ValueError(f"unknown contest outcome {outcome!r}")
+        self.contest_seconds += duration
+        self.trace.record(now, "contest_closed", job.job_id, winner, outcome)
+
+    def offer_made(self, now: float, job: Job, worker: str) -> None:
+        self.offers_made += 1
+        self.trace.record(now, "offered", job.job_id, worker)
+
+    def offer_rejected(self, now: float, job: Job, worker: str) -> None:
+        self.rejections_seen += 1
+        self.worker(worker).offers_rejected += 1
+        self.trace.record(now, "rejected", job.job_id, worker)
+
+    def offer_accepted(self, now: float, job: Job, worker: str) -> None:
+        self.worker(worker).offers_accepted += 1
+        self.trace.record(now, "accepted", job.job_id, worker)

@@ -1,0 +1,126 @@
+"""Structured job-lifecycle event log.
+
+Every scheduler-relevant moment in a run is appended to a
+:class:`Trace` as a :class:`TraceEvent`.  The trace powers debugging,
+the latency diagnostics in reports, and several integration tests that
+assert protocol properties (e.g. "every job is assigned exactly once",
+"a baseline job is declined at most once per worker").
+
+Event kinds
+-----------
+``submitted``   job entered the master (from the source or a parent task)
+``announced``   bidding contest opened for the job
+``bid``         a worker submitted a bid (detail = cost)
+``contest_closed``  contest resolved (detail = winner / "fallback")
+``offered``     master offered the job to a pulling worker
+``rejected``    worker declined an offer
+``accepted``    worker accepted an offer
+``assigned``    master bound the job to a worker (any policy)
+``started``     worker began executing the job
+``download_started`` / ``download_finished``  clone activity (detail = MB)
+``cache_hit``   required data was already local
+``completed``   worker finished the job
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Optional
+
+#: The closed set of valid event kinds (typos fail fast in tests).
+EVENT_KINDS = frozenset(
+    {
+        "submitted",
+        "announced",
+        "bid",
+        "contest_closed",
+        "offered",
+        "rejected",
+        "accepted",
+        "assigned",
+        "started",
+        "download_started",
+        "download_finished",
+        "cache_hit",
+        "completed",
+    }
+)
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One timestamped lifecycle event."""
+
+    time: float
+    kind: str
+    job_id: str
+    worker: Optional[str] = None
+    detail: Any = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in EVENT_KINDS:
+            raise ValueError(f"unknown trace event kind {self.kind!r}")
+
+
+@dataclass
+class Trace:
+    """An append-only, time-ordered event log for one run.
+
+    ``enabled=False`` turns recording into a no-op for benchmark runs
+    where only the aggregate counters matter.
+    """
+
+    enabled: bool = True
+    events: list[TraceEvent] = field(default_factory=list)
+
+    def record(
+        self,
+        time: float,
+        kind: str,
+        job_id: str,
+        worker: Optional[str] = None,
+        detail: Any = None,
+    ) -> None:
+        """Append one event (no-op when disabled)."""
+        if not self.enabled:
+            return
+        self.events.append(TraceEvent(time, kind, job_id, worker, detail))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self) -> Iterator[TraceEvent]:
+        return iter(self.events)
+
+    def of_kind(self, kind: str) -> list[TraceEvent]:
+        """All events of one kind, in time order."""
+        if kind not in EVENT_KINDS:
+            raise ValueError(f"unknown trace event kind {kind!r}")
+        return [event for event in self.events if event.kind == kind]
+
+    def for_job(self, job_id: str) -> list[TraceEvent]:
+        """The full lifecycle of one job."""
+        return [event for event in self.events if event.job_id == job_id]
+
+    def first(self, kind: str, job_id: str) -> Optional[TraceEvent]:
+        """Earliest event of ``kind`` for ``job_id`` (None if absent)."""
+        for event in self.events:
+            if event.kind == kind and event.job_id == job_id:
+                return event
+        return None
+
+    def job_latency(self, job_id: str) -> Optional[float]:
+        """Submission-to-completion latency for one job, if both ends exist."""
+        submitted = self.first("submitted", job_id)
+        completed = self.first("completed", job_id)
+        if submitted is None or completed is None:
+            return None
+        return completed.time - submitted.time
+
+    def allocation_delay(self, job_id: str) -> Optional[float]:
+        """Submission-to-assignment delay (scheduling overhead) for a job."""
+        submitted = self.first("submitted", job_id)
+        assigned = self.first("assigned", job_id)
+        if submitted is None or assigned is None:
+            return None
+        return assigned.time - submitted.time

@@ -1,0 +1,45 @@
+"""Network substrate: links, bandwidth sharing, noise and messaging.
+
+This package models the parts of the paper's AWS deployment that shape
+the evaluation numbers:
+
+* per-worker download links with configurable bandwidth and latency
+  (:mod:`repro.net.link`),
+* fair-share (processor-sharing) bandwidth pools for contended pipes
+  (:mod:`repro.net.bandwidth`),
+* the "noise scheme" of Section 6.3.1 that perturbs speeds during
+  execution so bid estimates differ from realised times
+  (:mod:`repro.net.noise`),
+* a simulated publish/subscribe messaging broker standing in for the
+  paper's dedicated messaging instance (:mod:`repro.net.broker`),
+* cluster topology with per-pair message latencies
+  (:mod:`repro.net.topology`).
+"""
+
+from repro.net.bandwidth import FairSharePipe
+from repro.net.broker import Broker, Subscription
+from repro.net.link import Link
+from repro.net.noise import (
+    LogNormalNoise,
+    NoiseModel,
+    NoNoise,
+    OrnsteinUhlenbeckNoise,
+    UniformNoise,
+    make_noise,
+)
+from repro.net.topology import Topology, TopologyConfig
+
+__all__ = [
+    "Broker",
+    "FairSharePipe",
+    "Link",
+    "LogNormalNoise",
+    "NoNoise",
+    "NoiseModel",
+    "OrnsteinUhlenbeckNoise",
+    "Subscription",
+    "Topology",
+    "TopologyConfig",
+    "UniformNoise",
+    "make_noise",
+]

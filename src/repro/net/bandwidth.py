@@ -1,0 +1,144 @@
+"""Fair-share (processor-sharing) bandwidth pools.
+
+:class:`FairSharePipe` models a pipe of fixed capacity shared equally
+among all in-flight transfers: with ``n`` concurrent transfers each
+progresses at ``capacity / n``.  When a transfer starts or finishes, the
+remaining work of every other transfer is settled at the old rate and
+completion times are re-derived at the new rate -- the classic
+processor-sharing fluid model.
+
+This is used for contended pipes (e.g. the shared egress of the
+simulated GitHub origin in the ablation experiments).  Dedicated
+per-worker links use :class:`repro.net.link.Link`, which wraps a private
+pipe of capacity 1 transfer.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional
+
+from repro.sim.events import Event
+from repro.sim.process import Interrupt, Process
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class _Transfer:
+    """Book-keeping for one in-flight transfer."""
+
+    __slots__ = ("size_mb", "remaining_mb", "done", "started_at")
+
+    def __init__(self, size_mb: float, done: Event, now: float) -> None:
+        self.size_mb = size_mb
+        self.remaining_mb = size_mb
+        self.done = done
+        self.started_at = now
+
+
+class FairSharePipe:
+    """A shared pipe with equal-share bandwidth allocation.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    capacity_mbps:
+        Total pipe capacity in megabytes per second, shared equally
+        among in-flight transfers.
+    """
+
+    def __init__(self, sim: "Simulator", capacity_mbps: float) -> None:
+        if capacity_mbps <= 0:
+            raise ValueError(f"capacity must be positive, got {capacity_mbps}")
+        self.sim = sim
+        self.capacity_mbps = float(capacity_mbps)
+        self._active: list[_Transfer] = []
+        self._last_settle = sim.now
+        self._timer: Optional[Process] = None
+
+    # -- public API ------------------------------------------------------
+
+    @property
+    def active_count(self) -> int:
+        """Number of transfers currently in flight."""
+        return len(self._active)
+
+    @property
+    def current_rate_mbps(self) -> float:
+        """Per-transfer rate right now (capacity if idle)."""
+        n = max(len(self._active), 1)
+        return self.capacity_mbps / n
+
+    def transfer(self, size_mb: float) -> Event:
+        """Start a transfer of ``size_mb``; the event fires on completion.
+
+        The event's value is the elapsed transfer time in seconds.
+        Zero-sized transfers complete immediately (after the current
+        event round).
+        """
+        if size_mb < 0:
+            raise ValueError(f"size must be non-negative, got {size_mb}")
+        done = Event(self.sim)
+        if size_mb == 0:
+            return done.succeed(0.0)
+        self._settle()
+        self._active.append(_Transfer(size_mb, done, self.sim.now))
+        self._reschedule()
+        return done
+
+    # -- fluid-model internals -------------------------------------------
+
+    def _settle(self) -> None:
+        """Advance every in-flight transfer's progress to ``sim.now``."""
+        now = self.sim.now
+        elapsed = now - self._last_settle
+        self._last_settle = now
+        if elapsed <= 0 or not self._active:
+            return
+        rate = self.capacity_mbps / len(self._active)
+        drained = rate * elapsed
+        for transfer in self._active:
+            transfer.remaining_mb -= drained
+            # Guard against float drift; completion handled in _reschedule.
+            if transfer.remaining_mb < 0:
+                transfer.remaining_mb = 0.0
+
+    def _reschedule(self) -> None:
+        """(Re)arm the completion timer for the next finishing transfer."""
+        if self._timer is not None and self._timer.is_alive:
+            self._timer.interrupt()
+        self._timer = None
+        while True:
+            # Complete any transfer already drained to zero.
+            finished = [t for t in self._active if t.remaining_mb <= 1e-12]
+            if finished:
+                self._active = [t for t in self._active if t.remaining_mb > 1e-12]
+                for transfer in finished:
+                    transfer.done.succeed(self.sim.now - transfer.started_at)
+            if not self._active:
+                return
+            rate = self.capacity_mbps / len(self._active)
+            min_remaining = min(t.remaining_mb for t in self._active)
+            next_completion = min_remaining / rate
+            if self.sim.now + next_completion > self.sim.now:
+                break
+            # The residual is below the clock's float resolution at this
+            # absolute time: the timer could never advance the clock and
+            # would spin forever.  Finish the nearest transfer(s) now.
+            threshold = min_remaining * (1.0 + 1e-9)
+            for transfer in self._active:
+                if transfer.remaining_mb <= threshold:
+                    transfer.remaining_mb = 0.0
+        self._timer = self.sim.process(self._timer_proc(next_completion), name="pipe-timer")
+
+    def _timer_proc(self, delay: float):
+        try:
+            yield self.sim.timeout(delay)
+        except Interrupt:
+            return
+        # Detach first: _reschedule would otherwise try to interrupt the
+        # very process that is running it.
+        self._timer = None
+        self._settle()
+        self._reschedule()

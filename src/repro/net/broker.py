@@ -1,0 +1,160 @@
+"""Simulated publish/subscribe messaging broker.
+
+The paper's deployment dedicates one AWS instance to messaging
+infrastructure (Crossflow uses a JMS broker).  :class:`Broker` stands in
+for it: nodes subscribe to named topics and receive published messages
+into private mailboxes after a delivery latency.
+
+Latency is ``base_latency`` plus the subscriber's topology distance (set
+per subscription), so geo-distributed workers hear about new jobs at
+slightly different times -- which matters for the 1-second bidding
+window of the Bidding Scheduler.
+
+Delivery is reliable and per-subscriber FIFO (equal per-pair latency +
+deterministic event ordering); the paper explicitly assumes no message
+loss and no fault tolerance.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Optional
+
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Subscription:
+    """A subscriber's mailbox on one topic.
+
+    Messages arrive in the :attr:`queue` store; consume them with
+    ``msg = yield subscription.queue.get()``.
+    """
+
+    def __init__(self, broker: "Broker", topic: str, name: str, latency: float) -> None:
+        self.broker = broker
+        self.topic = topic
+        self.name = name
+        self.latency = latency
+        self.queue: Store = Store(broker.sim)
+        #: Number of messages delivered into this mailbox.
+        self.delivered = 0
+
+    def get(self):
+        """Shorthand for ``self.queue.get()``."""
+        return self.queue.get()
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<Subscription {self.name!r} on {self.topic!r}>"
+
+
+class Broker:
+    """Topic-based pub/sub with per-subscriber delivery latency.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    base_latency:
+        Latency applied to every delivery in addition to the
+        subscription-specific latency (models broker processing time).
+    drop_probability:
+        Robustness-extension knob: each *non-reliable* delivery is lost
+        with this probability.  Reliable deliveries (persistent JMS
+        semantics -- job-carrying and completion messages) are never
+        dropped.  The paper assumes a fully reliable broker
+        (``drop_probability=0``).
+    rng:
+        Random stream deciding drops (required when dropping).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        base_latency: float = 0.0,
+        drop_probability: float = 0.0,
+        rng: Optional[object] = None,
+    ) -> None:
+        if base_latency < 0:
+            raise ValueError("base_latency must be non-negative")
+        if not 0 <= drop_probability < 1:
+            raise ValueError("drop_probability must be in [0, 1)")
+        if drop_probability > 0 and rng is None:
+            raise ValueError("drop_probability > 0 requires an rng")
+        self.sim = sim
+        self.base_latency = float(base_latency)
+        self.drop_probability = float(drop_probability)
+        self.rng = rng
+        self._topics: dict[str, list[Subscription]] = {}
+        #: Total messages published (all topics).
+        self.published = 0
+        #: Deliveries lost to the drop model.
+        self.dropped = 0
+
+    def subscribe(self, topic: str, name: str, latency: float = 0.0) -> Subscription:
+        """Register a subscriber mailbox on ``topic``.
+
+        ``latency`` is the subscriber's distance from the broker; each
+        delivery to this mailbox takes ``base_latency + latency``.
+        """
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        subscription = Subscription(self, topic, name, latency)
+        self._topics.setdefault(topic, []).append(subscription)
+        return subscription
+
+    def unsubscribe(self, subscription: Subscription) -> None:
+        """Remove a mailbox; future publishes no longer reach it."""
+        subscribers = self._topics.get(subscription.topic, [])
+        try:
+            subscribers.remove(subscription)
+        except ValueError:
+            pass
+
+    def subscribers(self, topic: str) -> list[Subscription]:
+        """Current subscriptions on ``topic`` (empty list if none)."""
+        return list(self._topics.get(topic, ()))
+
+    def publish(
+        self,
+        topic: str,
+        message: Any,
+        exclude: Optional[Subscription] = None,
+        reliable: bool = False,
+    ) -> int:
+        """Deliver ``message`` to every subscriber of ``topic``.
+
+        Returns the number of subscribers the message was sent to.
+        Delivery happens after each subscriber's latency; a copy of the
+        *reference* is delivered (messages are treated as immutable).
+        ``reliable`` deliveries bypass the drop model.
+        """
+        self.published += 1
+        count = 0
+        for subscription in self._topics.get(topic, ()):
+            if subscription is exclude:
+                continue
+            self._deliver(subscription, message, reliable=reliable)
+            count += 1
+        return count
+
+    def send(self, subscription: Subscription, message: Any, reliable: bool = False) -> None:
+        """Point-to-point delivery to one known mailbox."""
+        self._deliver(subscription, message, reliable=reliable)
+
+    def _deliver(self, subscription: Subscription, message: Any, reliable: bool = False) -> None:
+        if (
+            not reliable
+            and self.drop_probability > 0
+            and self.rng.random() < self.drop_probability
+        ):
+            self.dropped += 1
+            return
+        delay = self.base_latency + subscription.latency
+
+        def put(_event: Any, subscription: Subscription = subscription, message: Any = message) -> None:
+            subscription.queue.put(message)
+            subscription.delivered += 1
+
+        self.sim.timeout(delay).add_callback(put)

@@ -1,0 +1,124 @@
+"""Point-to-point download links.
+
+Each worker in the paper has its own internet connection with a nominal
+download speed; :class:`Link` models such a dedicated connection:
+
+* fixed propagation/setup ``latency`` per transfer (TCP + API handshake),
+* a nominal ``bandwidth_mbps``,
+* an optional :class:`~repro.net.noise.NoiseModel` perturbing the
+  *realised* speed of each transfer (the paper's noise scheme),
+* an optional shared upstream :class:`~repro.net.bandwidth.FairSharePipe`
+  (the data origin's egress) that additionally caps throughput.
+
+Transfers through a link are serialised FIFO: a worker clones one
+repository at a time, matching the paper's FIFO job execution.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+import numpy as np
+
+from repro.net.bandwidth import FairSharePipe
+from repro.net.noise import NoiseModel, NoNoise
+from repro.sim.resources import PriorityResource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Link:
+    """A dedicated, serialised download link with noisy bandwidth.
+
+    Parameters
+    ----------
+    sim:
+        Owning simulator.
+    bandwidth_mbps:
+        Nominal download speed in MB/s (the speed the worker *believes*
+        it has and uses in bids).
+    latency:
+        Per-transfer fixed overhead in seconds.
+    noise:
+        Multiplicative speed perturbation applied per transfer.
+    rng:
+        Random stream feeding the noise model.
+    upstream:
+        Optional shared origin pipe; when set, the transfer also consumes
+        upstream capacity and finishes when the *slower* of the two paths
+        completes (an approximation of the min-rate bottleneck that keeps
+        both models composable).
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        bandwidth_mbps: float,
+        latency: float = 0.0,
+        noise: Optional[NoiseModel] = None,
+        rng: Optional[np.random.Generator] = None,
+        upstream: Optional[FairSharePipe] = None,
+    ) -> None:
+        if bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_mbps}")
+        if latency < 0:
+            raise ValueError(f"latency must be non-negative, got {latency}")
+        self.sim = sim
+        self.bandwidth_mbps = float(bandwidth_mbps)
+        self.latency = float(latency)
+        self.noise = noise or NoNoise()
+        self.rng = rng if rng is not None else np.random.default_rng(0)
+        self.upstream = upstream
+        self._mutex = PriorityResource(sim, capacity=1)
+        #: Total megabytes moved through this link (for metric cross-checks).
+        self.total_mb = 0.0
+        #: Total transfers performed.
+        self.transfer_count = 0
+        #: Realised speed of the most recent transfer (MB/s), for the
+        #: measured-speed learning mode of Section 6.4.
+        self.last_realised_mbps: Optional[float] = None
+
+    def nominal_transfer_time(self, size_mb: float) -> float:
+        """The *estimate* a worker would bid: latency + size / nominal speed."""
+        return self.latency + size_mb / self.bandwidth_mbps
+
+    def transfer(self, size_mb: float, priority: int = 0) -> Generator:
+        """Process: move ``size_mb`` through the link; returns elapsed seconds.
+
+        ``priority`` orders contending transfers (lower = more urgent);
+        background prefetches use priority 1 so a job's own download is
+        never queued behind them.
+
+        Usage::
+
+            elapsed = yield sim.process(link.transfer(size_mb))
+        """
+        if size_mb < 0:
+            raise ValueError(f"size must be non-negative, got {size_mb}")
+        start = self.sim.now
+        grant = self._mutex.request(priority)
+        yield grant
+        try:
+            yield self.sim.timeout(self.latency)
+            factor = self.noise.factor(self.rng, self.sim.now)
+            realised = self.bandwidth_mbps * max(factor, 1e-9)
+            duration = size_mb / realised
+            if self.upstream is not None:
+                # Consume shared origin capacity concurrently; the transfer
+                # completes only when both the local pipe and the origin
+                # have moved the bytes.
+                upstream_done = self.upstream.transfer(size_mb)
+                local_done = self.sim.timeout(duration)
+                yield local_done
+                yield upstream_done
+            else:
+                yield self.sim.timeout(duration)
+            elapsed = self.sim.now - start
+            if elapsed > 0 and size_mb > 0:
+                self.last_realised_mbps = size_mb / elapsed
+            self.total_mb += size_mb
+            self.transfer_count += 1
+            return elapsed
+        finally:
+            self._mutex.release(grant)

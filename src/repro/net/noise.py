@@ -1,0 +1,143 @@
+"""Speed-noise models (the paper's "noise scheme", Section 6.3.1).
+
+The paper configures workers with nominal network and read/write speeds
+used for *bidding*, then perturbs the speeds actually *realised* during
+execution "to better replicate real-world network throttling scenarios
+and ensure bidding costs differed from actual execution times".
+
+A noise model returns a multiplicative factor applied to a nominal speed
+for one operation (one download, one processing step).  All models are
+calibrated so the factor has mean ~1: noise changes variance, not the
+average speed, keeping nominal speeds honest estimates.
+
+Models
+------
+* :class:`NoNoise` -- factor is always 1 (deterministic runs, tests).
+* :class:`UniformNoise` -- factor ~ U[1-a, 1+a].
+* :class:`LogNormalNoise` -- factor ~ LogNormal with mean 1; heavy right
+  tail matches occasional severe throttling.
+* :class:`OrnsteinUhlenbeckNoise` -- time-correlated drift: a worker that
+  is slow now tends to stay slow for a while (models sustained
+  congestion); mean-reverts to 1.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Protocol
+
+import numpy as np
+
+
+class NoiseModel(Protocol):
+    """Protocol for multiplicative speed-noise models."""
+
+    def factor(self, rng: np.random.Generator, now: float) -> float:
+        """A positive multiplier for one operation starting at time ``now``."""
+        ...
+
+
+@dataclass(frozen=True)
+class NoNoise:
+    """Deterministic model: realised speed equals nominal speed."""
+
+    def factor(self, rng: np.random.Generator, now: float) -> float:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class UniformNoise:
+    """Factor drawn uniformly from ``[1 - amplitude, 1 + amplitude]``.
+
+    Parameters
+    ----------
+    amplitude:
+        Relative half-width; must lie in ``[0, 1)`` so factors stay
+        positive.
+    """
+
+    amplitude: float
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.amplitude < 1:
+            raise ValueError(f"amplitude must be in [0, 1), got {self.amplitude}")
+
+    def factor(self, rng: np.random.Generator, now: float) -> float:
+        return 1.0 + self.amplitude * (2.0 * rng.random() - 1.0)
+
+
+@dataclass(frozen=True)
+class LogNormalNoise:
+    """Log-normal factor with mean 1 and log-std ``sigma``.
+
+    ``factor = exp(N(-sigma^2 / 2, sigma^2))`` so that ``E[factor] = 1``.
+    """
+
+    sigma: float
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {self.sigma}")
+
+    def factor(self, rng: np.random.Generator, now: float) -> float:
+        if self.sigma == 0:
+            return 1.0
+        mu = -0.5 * self.sigma * self.sigma
+        return float(np.exp(rng.normal(mu, self.sigma)))
+
+
+class OrnsteinUhlenbeckNoise:
+    """Mean-reverting, time-correlated noise.
+
+    The log-factor follows an Ornstein-Uhlenbeck process sampled at the
+    times operations occur::
+
+        x(t+dt) = x(t) * exp(-dt / tau) + N(0, s^2 * (1 - exp(-2 dt / tau)))
+
+    with stationary std ``s = sigma`` and correlation time ``tau``.
+    The returned factor is ``exp(x - sigma^2/2)`` (mean ~1).
+
+    Unlike the stateless models, each instance carries state, so use one
+    instance per (worker, channel).
+    """
+
+    def __init__(self, sigma: float, tau: float) -> None:
+        if sigma < 0:
+            raise ValueError(f"sigma must be non-negative, got {sigma}")
+        if tau <= 0:
+            raise ValueError(f"tau must be positive, got {tau}")
+        self.sigma = sigma
+        self.tau = tau
+        self._x = 0.0
+        self._last_time: float | None = None
+
+    def factor(self, rng: np.random.Generator, now: float) -> float:
+        if self._last_time is None:
+            # Start from the stationary distribution.
+            self._x = float(rng.normal(0.0, self.sigma)) if self.sigma else 0.0
+        else:
+            dt = max(now - self._last_time, 0.0)
+            decay = math.exp(-dt / self.tau)
+            std = self.sigma * math.sqrt(max(1.0 - decay * decay, 0.0))
+            self._x = self._x * decay + (float(rng.normal(0.0, std)) if std else 0.0)
+        self._last_time = now
+        return math.exp(self._x - 0.5 * self.sigma * self.sigma)
+
+
+def make_noise(kind: str, **kwargs: float) -> NoiseModel:
+    """Factory: build a noise model from a config string.
+
+    ``kind`` is one of ``"none"``, ``"uniform"``, ``"lognormal"``, ``"ou"``.
+    """
+    if kind == "none":
+        return NoNoise()
+    if kind == "uniform":
+        return UniformNoise(float(kwargs.get("amplitude", 0.2)))
+    if kind == "lognormal":
+        return LogNormalNoise(float(kwargs.get("sigma", 0.2)))
+    if kind == "ou":
+        return OrnsteinUhlenbeckNoise(
+            float(kwargs.get("sigma", 0.2)), float(kwargs.get("tau", 60.0))
+        )
+    raise ValueError(f"unknown noise kind: {kind!r}")

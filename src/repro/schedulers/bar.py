@@ -1,0 +1,160 @@
+"""BAR (Jin et al., CCGrid 2011) -- related-work comparator.
+
+"In BAR, the authors introduce a function that calculates completion
+time with respect to data locality.  Their algorithm comprises two
+phases: at first, they attempt to assign all the tasks so they are
+entirely local, only to iteratively produce alternative execution
+scenarios which reduce completion time on account of the locality."
+(Section 3)
+
+Adaptation to this engine (BAR's original setting is slot-based
+MapReduce over HDFS block locations):
+
+* **Phase 1 (locality-first)**: every job goes to a worker that already
+  holds its repository (per the master's block-location view -- warm
+  caches from previous iterations); jobs with no holder go to the
+  estimated-earliest-finishing worker.
+* **Phase 2 (balance-adjustment)**: while it reduces the estimated
+  makespan, move one job from the most-loaded worker to the
+  least-loaded one, *re-pricing it as remote* (download + scan instead
+  of scan only) -- exactly BAR's "reduce completion time on account of
+  the locality".
+
+Completion-time estimates use each worker's nominal speeds, which the
+runtime injects as ``speed_view`` alongside the ``cache_view`` --
+centralized schedulers get to know the fleet, that is their one
+advantage.  Like Spark, BAR plans upfront and never reacts to clones
+made during the run; dynamically spawned jobs are priced and placed on
+the estimated-earliest-finishing worker at arrival.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.schedulers.base import (
+    MasterPolicy,
+    PassiveWorkerPolicy,
+    SchedulerPolicy,
+)
+from repro.workload.job import Job
+
+
+class BARMasterPolicy(MasterPolicy):
+    """Two-phase locality-then-balance upfront allocation."""
+
+    name = "bar"
+    requires_upfront = True
+
+    def __init__(self, max_adjustments: Optional[int] = None) -> None:
+        super().__init__()
+        if max_adjustments is not None and max_adjustments < 0:
+            raise ValueError("max_adjustments must be non-negative")
+        self.max_adjustments = max_adjustments
+        #: worker -> cached repo ids (injected by the runtime).
+        self.cache_view: dict[str, set[str]] = {}
+        #: worker -> (network_mbps, rw_mbps, cpu_factor, link_latency)
+        #: (injected by the runtime).
+        self.speed_view: dict[str, tuple[float, float, float, float]] = {}
+        self._plan: dict[str, str] = {}
+        self._load: dict[str, float] = {}
+        #: Phase-2 moves actually performed (diagnostics/tests).
+        self.adjustments = 0
+
+    # -- cost model -----------------------------------------------------------
+
+    def _cost(self, job: Job, worker: str, local: bool) -> float:
+        """Estimated cost of ``job`` on ``worker`` (BAR's completion-time
+        function, instantiated with this workload's natural formulas)."""
+        network, rw, cpu, latency = self.speed_view[worker]
+        cost = job.base_compute_s / cpu + job.size_mb / rw
+        if not local and job.size_mb > 0:
+            cost += latency + job.size_mb / network
+        return cost
+
+    def _is_local(self, job: Job, worker: str) -> bool:
+        return job.repo_id is None or job.repo_id in self.cache_view.get(worker, ())
+
+    def _earliest(self) -> str:
+        return min(self._load, key=lambda name: (self._load[name], name))
+
+    # -- planning ----------------------------------------------------------------
+
+    def on_upfront_jobs(self, jobs: list[Job]) -> None:
+        workers = list(self.master.worker_names)
+        self._ensure_views(workers)
+        self._load = {name: 0.0 for name in workers}
+        placements: dict[str, str] = {}
+
+        # Phase 1: entirely-local assignment where possible.
+        for job in jobs:
+            holders = [name for name in workers if self._is_local(job, name)]
+            if holders:
+                worker = min(holders, key=lambda name: (self._load[name], name))
+            else:
+                worker = self._earliest()
+            placements[job.job_id] = worker
+            self._load[worker] += self._cost(job, worker, self._is_local(job, worker))
+
+        # Phase 2: trade locality for balance while the makespan improves.
+        jobs_by_id = {job.job_id: job for job in jobs}
+        moves = 0
+        budget = self.max_adjustments if self.max_adjustments is not None else len(jobs) * 4
+        while moves < budget:
+            slowest = max(self._load, key=lambda name: (self._load[name], name))
+            fastest = self._earliest()
+            if slowest == fastest:
+                break
+            candidates = [
+                job_id for job_id, worker in placements.items() if worker == slowest
+            ]
+            best_move = None
+            best_makespan = self._load[slowest]
+            for job_id in candidates:
+                job = jobs_by_id[job_id]
+                out_cost = self._cost(job, slowest, self._is_local(job, slowest))
+                in_cost = self._cost(job, fastest, self._is_local(job, fastest))
+                new_slowest = self._load[slowest] - out_cost
+                new_fastest = self._load[fastest] + in_cost
+                new_makespan = max(new_slowest, new_fastest)
+                if new_makespan < best_makespan - 1e-12:
+                    best_makespan = new_makespan
+                    best_move = (job_id, out_cost, in_cost)
+            if best_move is None:
+                break
+            job_id, out_cost, in_cost = best_move
+            placements[job_id] = fastest
+            self._load[slowest] -= out_cost
+            self._load[fastest] += in_cost
+            moves += 1
+        self.adjustments = moves
+        self._plan = placements
+
+    def _ensure_views(self, workers: list[str]) -> None:
+        missing = [name for name in workers if name not in self.speed_view]
+        if missing:
+            raise RuntimeError(
+                f"BAR needs the runtime-injected speed_view; missing {missing}"
+            )
+
+    # -- arrival-time dispatch -------------------------------------------------------
+
+    def on_job(self, job: Job) -> None:
+        worker = self._plan.pop(job.job_id, None)
+        if worker is None:
+            if not self._load:
+                self._load = {name: 0.0 for name in self.master.worker_names}
+                self._ensure_views(list(self._load))
+            worker = self._earliest()
+            self._load[worker] += self._cost(job, worker, self._is_local(job, worker))
+        self.master.assign(job, worker)
+
+
+def make_bar_policy(max_adjustments: Optional[int] = None) -> SchedulerPolicy:
+    """Package the BAR scheduler for the engine/registry."""
+    return SchedulerPolicy(
+        name="bar",
+        master_factory=lambda: BARMasterPolicy(max_adjustments=max_adjustments),
+        worker_factory=PassiveWorkerPolicy,
+        requires_upfront=True,
+    )

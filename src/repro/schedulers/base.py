@@ -1,0 +1,135 @@
+"""Scheduler strategy interfaces.
+
+A scheduler is split along the paper's architectural line:
+
+* the **master policy** owns unallocated jobs and decides (or
+  orchestrates the decision of) which worker gets each job;
+* the **worker policy** implements the worker's "opinion": acceptance
+  criteria for offered jobs (Baseline) or bid construction for announced
+  jobs (Bidding).
+
+Both sides are *bound* to their host node before the run starts and may
+spawn their own simulation processes in ``start``.  They interact with
+the world only through their host's helpers (``master.assign(...)``,
+``worker.send_to_master(...)``), never by touching other nodes directly
+-- the decentralisation the paper argues for is enforced structurally.
+
+:class:`SchedulerPolicy` packages a matching master/worker pair plus the
+metadata the experiment harness needs (name, whether the policy wants
+the full job list upfront like Spark).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.workload.job import Job
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.engine.master import Master
+    from repro.engine.worker import WorkerNode
+
+
+class MasterPolicy:
+    """Master-side allocation strategy (one instance per run)."""
+
+    #: Human-readable policy name (set by subclasses).
+    name = "abstract"
+
+    #: Whether the policy needs the complete job list before the run
+    #: starts (Spark's upfront allocation).  Streamed arrivals are still
+    #: delivered through ``on_job``.
+    requires_upfront = False
+
+    def __init__(self) -> None:
+        self.master: "Master" = None  # type: ignore[assignment]
+
+    def bind(self, master: "Master") -> None:
+        """Attach to the host master node (called once, before start)."""
+        self.master = master
+
+    def start(self) -> None:
+        """Spawn any long-running policy processes; default none."""
+
+    def on_upfront_jobs(self, jobs: list[Job]) -> None:
+        """Receive the full job list before the run (only if
+        ``requires_upfront``); default ignores it."""
+
+    def on_job(self, job: Job) -> None:
+        """A new job needs allocation (source arrival or pipeline child)."""
+        raise NotImplementedError
+
+    def on_message(self, message: object) -> bool:
+        """Handle a policy-specific message from a worker.
+
+        Return ``True`` if consumed; unconsumed messages are an engine
+        error (they indicate a policy/protocol mismatch).
+        """
+        return False
+
+    def on_job_completed(self, job: Job, worker: str) -> None:
+        """Observe a completion (e.g. to track worker cache contents)."""
+
+    def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
+        """Fault-tolerance hook: reallocate orphans.  Default: the paper's
+        behaviour -- nothing happens and the workflow hangs; the engine
+        only calls this when fault tolerance is enabled."""
+        for job in orphaned:
+            self.on_job(job)
+
+
+class WorkerPolicy:
+    """Worker-side strategy (one instance per worker per run)."""
+
+    def __init__(self) -> None:
+        self.worker: "WorkerNode" = None  # type: ignore[assignment]
+
+    def bind(self, worker: "WorkerNode") -> None:
+        """Attach to the host worker node (called once, before start)."""
+        self.worker = worker
+
+    def start(self) -> None:
+        """Spawn any long-running policy processes; default none."""
+
+    def on_message(self, message: object) -> bool:
+        """Intercept an inbox message.  Return ``True`` if consumed;
+        otherwise the engine applies default handling (Assignments are
+        enqueued, everything else is an error)."""
+        return False
+
+    def on_job_finished(self, job: Job, elapsed_s: float = 0.0) -> None:
+        """Observe local completion (e.g. to release committed workload or
+        feed estimate-vs-actual learning).  ``elapsed_s`` is the wall time
+        the job occupied the worker (download + processing)."""
+
+
+@dataclass
+class SchedulerPolicy:
+    """A named, matched pair of policy factories.
+
+    ``master_factory`` is called once per run; ``worker_factory`` once
+    per worker.  Factories (rather than instances) keep runs independent
+    and make the registry trivially reusable across repetitions.
+    """
+
+    name: str
+    master_factory: Callable[[], MasterPolicy]
+    worker_factory: Callable[[], WorkerPolicy]
+    requires_upfront: bool = False
+
+    def make_master(self) -> MasterPolicy:
+        """Fresh master-side policy for one run."""
+        policy = self.master_factory()
+        if policy.requires_upfront != self.requires_upfront:
+            policy.requires_upfront = self.requires_upfront
+        return policy
+
+    def make_worker(self) -> WorkerPolicy:
+        """Fresh worker-side policy for one worker."""
+        return self.worker_factory()
+
+
+class PassiveWorkerPolicy(WorkerPolicy):
+    """Worker policy for centralized schedulers (Spark/random/round-robin):
+    the worker holds no opinion and simply executes assignments."""

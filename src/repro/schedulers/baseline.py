@@ -1,0 +1,211 @@
+"""Crossflow's Baseline scheduler (Section 4) -- the paper's comparator.
+
+"Crossflow currently deals with scheduling by enabling worker nodes to
+pull jobs from the master.  Before being executed, each pulled job is
+internally evaluated by the worker to check if it conforms to that
+worker's acceptance criteria.  If it does, the job is processed,
+otherwise, it is returned to the master so another worker can consider
+it. ... workers are required to keep track of any jobs they have
+previously declined.  This enables them to accept such jobs upon a
+second attempt."
+
+Mechanics reproduced here:
+
+* only *idle* workers pull (a worker executes one job at a time);
+* the master holds unallocated jobs FIFO and parks pulls that arrive
+  while the queue is empty, answering them as soon as work exists
+  (a long-poll -- pull frequency therefore never limits throughput);
+* the acceptance criterion for the MSR workload is data locality:
+  accept iff the job has no data, the repository is cached locally, or
+  this worker has declined the job before (the second-attempt rule);
+* a rejected job is "returned to the master so another worker can
+  consider it".  Where it re-enters the queue is a real Crossflow
+  implementation detail with large behavioural consequences, so it is
+  configurable:
+
+  - ``requeue="front"`` (default) models JMS redelivery: the rejected
+    message is re-offered immediately.  A lone idle worker therefore
+    sees the job again on its very next pull and is forced to accept --
+    reproducing the paper's observation that "there will be redundant
+    clones of the same repository if a node is offered a job it has
+    previously seen, even though some other node has that resource
+    locally but is currently occupied";
+  - ``requeue="back"`` lets the worker cycle through the whole queue
+    before the second-attempt rule bites, which gives the Baseline much
+    stronger emergent locality (ablated in A3).
+
+The documented consequences -- every job is declined by every observer
+on a cold cache, and nothing steers big jobs away from slow workers --
+emerge from these rules, which is precisely what the Bidding Scheduler
+is built to fix.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.engine.messages import (
+    JobAccept,
+    JobOffer,
+    JobReject,
+    NoWork,
+    PullRequest,
+)
+from repro.schedulers.base import MasterPolicy, SchedulerPolicy, WorkerPolicy
+from repro.sim.resources import Store
+from repro.workload.job import Job
+
+
+class BaselineMasterPolicy(MasterPolicy):
+    """FIFO job queue + long-polled pulls + requeue on rejection."""
+
+    name = "baseline"
+
+    def __init__(self, requeue: str = "front") -> None:
+        super().__init__()
+        if requeue not in ("front", "back"):
+            raise ValueError(f"requeue must be 'front' or 'back', got {requeue!r}")
+        self.requeue = requeue
+        self.job_queue: deque[Job] = deque()
+        #: Workers whose pulls arrived while the queue was empty.
+        self.parked_pulls: deque[str] = deque()
+        #: job_id -> number of times offered (diagnostics).
+        self.offer_counts: dict[str, int] = {}
+
+    def on_job(self, job: Job) -> None:
+        self.job_queue.append(job)
+        self._match()
+
+    def on_message(self, message: object) -> bool:
+        if isinstance(message, PullRequest):
+            self.parked_pulls.append(message.worker)
+            self._match()
+            return True
+        if isinstance(message, JobReject):
+            self.master.metrics.offer_rejected(
+                self.master.sim.now, message.job, message.worker
+            )
+            # "returned to the master so another worker can consider it".
+            if self.requeue == "front":
+                self.job_queue.appendleft(message.job)
+            else:
+                self.job_queue.append(message.job)
+            self._match()
+            return True
+        if isinstance(message, JobAccept):
+            self.master.metrics.offer_accepted(
+                self.master.sim.now, message.job, message.worker
+            )
+            self.master.note_external_assignment(message.job, message.worker)
+            return True
+        return False
+
+    def _match(self) -> None:
+        """Answer parked pulls while jobs are available."""
+        while self.job_queue and self.parked_pulls:
+            worker = self.parked_pulls.popleft()
+            job = self.job_queue.popleft()
+            prior = self.offer_counts.get(job.job_id, 0)
+            self.offer_counts[job.job_id] = prior + 1
+            self.master.metrics.offer_made(self.master.sim.now, job, worker)
+            self.master.send_to_worker(worker, JobOffer(job=job, prior_offers=prior))
+
+
+class BaselineWorkerPolicy(WorkerPolicy):
+    """The opinionated node: locality acceptance + second-attempt rule.
+
+    ``response_timeout_s`` is the message-loss robustness extension: a
+    worker whose pull (or its answer) vanished re-pulls after this long
+    instead of waiting forever.  ``None`` (the paper's reliable-broker
+    assumption) disables it.
+    """
+
+    def __init__(
+        self, heartbeat_s: float = 1.0, response_timeout_s: Optional[float] = None
+    ) -> None:
+        super().__init__()
+        if heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
+        if response_timeout_s is not None and response_timeout_s <= 0:
+            raise ValueError("response_timeout_s must be positive")
+        self.heartbeat_s = heartbeat_s
+        self.response_timeout_s = response_timeout_s
+        #: Job ids this worker has declined (the second-attempt memory).
+        self.declined: set[str] = set()
+        self._responses: Optional[Store] = None
+
+    def start(self) -> None:
+        self._responses = Store(self.worker.sim)
+        self.worker.sim.process(self._pull_loop(), name=f"{self.worker.name}-puller")
+
+    def on_message(self, message: object) -> bool:
+        if isinstance(message, (JobOffer, NoWork)):
+            self._responses.put(message)
+            return True
+        return False
+
+    def accepts(self, job: Job) -> bool:
+        """The acceptance criterion (application-specific in Crossflow;
+        data locality for the MSR workload, per Section 4)."""
+        if not job.is_data_bound:
+            return True
+        if self.worker.cache.peek(job.repo_id):
+            return True
+        return job.job_id in self.declined
+
+    def _pull_loop(self):
+        worker = self.worker
+        while True:
+            if not worker.is_idle:
+                yield worker.wait_idle()
+            if not worker.alive:
+                return
+            worker.send_to_master(PullRequest(worker=worker.name))
+            response = yield from self._await_response()
+            if response is None:
+                # Pull (or its answer) was lost in transit: retry.
+                continue
+            if isinstance(response, NoWork):
+                yield worker.sim.timeout(self.heartbeat_s)
+                continue
+            job = response.job
+            if self.accepts(job):
+                worker.send_to_master(JobAccept(job=job, worker=worker.name))
+                worker.enqueue(job, worker._default_estimate(job))
+                yield worker.wait_idle()
+            else:
+                self.declined.add(job.job_id)
+                worker.send_to_master(JobReject(job=job, worker=worker.name))
+
+    def _await_response(self):
+        """Wait for the master's answer, bounded by the loss timeout."""
+        from repro.sim.events import AnyOf
+
+        get_event = self._responses.get()
+        if self.response_timeout_s is None:
+            response = yield get_event
+            return response
+        deadline = self.worker.sim.timeout(self.response_timeout_s)
+        outcome = yield AnyOf(self.worker.sim, [get_event, deadline])
+        if get_event in outcome:
+            return outcome[get_event]
+        # Timed out: withdraw the pending get so a late answer cannot be
+        # silently swallowed by an event nothing waits on anymore.
+        get_event.cancel()
+        return None
+
+
+def make_baseline_policy(
+    heartbeat_s: float = 1.0,
+    requeue: str = "front",
+    response_timeout_s: Optional[float] = None,
+) -> SchedulerPolicy:
+    """Package the Baseline scheduler for the engine/registry."""
+    return SchedulerPolicy(
+        name="baseline",
+        master_factory=lambda: BaselineMasterPolicy(requeue=requeue),
+        worker_factory=lambda: BaselineWorkerPolicy(
+            heartbeat_s=heartbeat_s, response_timeout_s=response_timeout_s
+        ),
+    )

@@ -1,0 +1,152 @@
+"""Delay scheduling (Zaharia et al., EuroSys 2010) -- related-work comparator.
+
+"Some approaches attempt to delay job assignment until an appropriate
+node is available.  If that node is unavailable, the allocation will be
+postponed, which can occur a fixed number of times." (Section 3)
+
+Mapping to this engine: when an idle worker pulls, the master walks the
+job queue in order; a job whose data is local to the puller is assigned
+immediately, otherwise the job's *skip counter* increments.  A job
+whose counter exceeds ``max_skips`` has waited long enough and is
+assigned non-locally to the puller.  Workers always accept.
+
+The master's locality knowledge comes from observed completions, as in
+:mod:`repro.schedulers.matchmaking`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.engine.messages import JobAccept, JobOffer, NoWork, PullRequest
+from repro.schedulers.base import MasterPolicy, SchedulerPolicy, WorkerPolicy
+from repro.sim.resources import Store
+from repro.workload.job import Job
+
+DEFAULT_MAX_SKIPS = 3
+DEFAULT_HEARTBEAT_S = 1.0
+
+
+class DelayMasterPolicy(MasterPolicy):
+    """Skip-counted locality waiting."""
+
+    name = "delay"
+
+    def __init__(self, max_skips: int = DEFAULT_MAX_SKIPS) -> None:
+        super().__init__()
+        if max_skips < 0:
+            raise ValueError("max_skips must be non-negative")
+        self.max_skips = max_skips
+        self.job_queue: deque[Job] = deque()
+        self.skips: dict[str, int] = {}
+        self.holdings: dict[str, set[str]] = {}
+        self.parked: deque[str] = deque()
+
+    def on_job(self, job: Job) -> None:
+        self.job_queue.append(job)
+        self.skips.setdefault(job.job_id, 0)
+        self._service_parked()
+
+    def on_job_completed(self, job: Job, worker: str) -> None:
+        if job.repo_id is not None and worker is not None:
+            self.holdings.setdefault(worker, set()).add(job.repo_id)
+
+    def on_message(self, message: object) -> bool:
+        if isinstance(message, PullRequest):
+            if not self._try_offer(message.worker):
+                if self.job_queue:
+                    self.master.send_to_worker(message.worker, NoWork(message.worker))
+                else:
+                    self.parked.append(message.worker)
+            return True
+        if isinstance(message, JobAccept):
+            self.master.metrics.offer_accepted(
+                self.master.sim.now, message.job, message.worker
+            )
+            self.master.note_external_assignment(message.job, message.worker)
+            return True
+        return False
+
+    def _local_for(self, worker: str, job: Job) -> bool:
+        return job.repo_id is None or job.repo_id in self.holdings.get(worker, ())
+
+    def _try_offer(self, worker: str) -> bool:
+        for index, job in enumerate(self.job_queue):
+            if self._local_for(worker, job):
+                del self.job_queue[index]
+                self.skips.pop(job.job_id, None)
+                self._offer(worker, job)
+                return True
+            self.skips[job.job_id] = self.skips.get(job.job_id, 0) + 1
+            if self.skips[job.job_id] > self.max_skips:
+                # Waited long enough: launch non-locally.
+                del self.job_queue[index]
+                self.skips.pop(job.job_id, None)
+                self._offer(worker, job)
+                return True
+        return False
+
+    def _offer(self, worker: str, job: Job) -> None:
+        self.master.metrics.offer_made(self.master.sim.now, job, worker)
+        self.master.send_to_worker(worker, JobOffer(job=job))
+
+    def _service_parked(self) -> None:
+        still_parked: deque[str] = deque()
+        while self.parked:
+            worker = self.parked.popleft()
+            if not self._try_offer(worker):
+                if self.job_queue:
+                    self.master.send_to_worker(worker, NoWork(worker))
+                else:
+                    still_parked.append(worker)
+        self.parked = still_parked
+
+
+class DelayWorkerPolicy(WorkerPolicy):
+    """Pull loop; always accepts (the *master* does the delaying)."""
+
+    def __init__(self, heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> None:
+        super().__init__()
+        if heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
+        self.heartbeat_s = heartbeat_s
+        self._responses: Optional[Store] = None
+
+    def start(self) -> None:
+        self._responses = Store(self.worker.sim)
+        self.worker.sim.process(self._pull_loop(), name=f"{self.worker.name}-puller")
+
+    def on_message(self, message: object) -> bool:
+        if isinstance(message, (JobOffer, NoWork)):
+            self._responses.put(message)
+            return True
+        return False
+
+    def _pull_loop(self):
+        worker = self.worker
+        while True:
+            if not worker.is_idle:
+                yield worker.wait_idle()
+            if not worker.alive:
+                return
+            worker.send_to_master(PullRequest(worker=worker.name))
+            response = yield self._responses.get()
+            if isinstance(response, NoWork):
+                yield worker.sim.timeout(self.heartbeat_s)
+                continue
+            job = response.job
+            worker.send_to_master(JobAccept(job=job, worker=worker.name))
+            worker.enqueue(job, worker._default_estimate(job))
+            yield worker.wait_idle()
+
+
+def make_delay_policy(
+    max_skips: int = DEFAULT_MAX_SKIPS, heartbeat_s: float = DEFAULT_HEARTBEAT_S
+) -> SchedulerPolicy:
+    """Package the delay scheduler for the engine/registry."""
+    return SchedulerPolicy(
+        name="delay",
+        master_factory=lambda: DelayMasterPolicy(max_skips=max_skips),
+        worker_factory=lambda: DelayWorkerPolicy(heartbeat_s=heartbeat_s),
+    )

@@ -1,0 +1,162 @@
+"""Matchmaking (He, Lu & Swanson, 2011) -- related-work comparator.
+
+"The Matchmaking technique for MapReduce ... avoids wasting time by
+allowing nodes to request jobs rather than receive them.  Only when a
+node becomes available will it try to pull a task for which it has data
+locally.  The node will remain idle for a single heartbeat if no such
+task is present.  On the second attempt, it is bound to accept a task
+even if it does not have data locally." (Section 3)
+
+Mapping to this engine:
+
+* idle workers pull with an ``attempt`` counter that resets after every
+  executed job;
+* on attempt 1 the master offers only a *local* job for that worker --
+  one whose repository the worker holds (the master tracks holdings
+  from completions, standing in for the JobTracker's block map) or one
+  with no data at all; with no local job the worker idles one heartbeat;
+* on attempt >= 2 the master offers the queue head unconditionally and
+  the worker is bound to accept.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+from repro.engine.messages import (
+    JobAccept,
+    JobOffer,
+    JobReject,
+    NoWork,
+    PullRequest,
+)
+from repro.schedulers.base import MasterPolicy, SchedulerPolicy, WorkerPolicy
+from repro.sim.resources import Store
+from repro.workload.job import Job
+
+DEFAULT_HEARTBEAT_S = 1.0
+
+
+class MatchmakingMasterPolicy(MasterPolicy):
+    """Locality-filtered offers on first attempt, forced on the second."""
+
+    name = "matchmaking"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.job_queue: deque[Job] = deque()
+        #: worker -> repos known to be cached there (built from completions).
+        self.holdings: dict[str, set[str]] = {}
+        #: Pulls parked because nothing was offerable: (worker, attempt).
+        self.parked: deque[tuple[str, int]] = deque()
+
+    def on_job(self, job: Job) -> None:
+        self.job_queue.append(job)
+        self._service_parked()
+
+    def on_job_completed(self, job: Job, worker: str) -> None:
+        if job.repo_id is not None and worker is not None:
+            self.holdings.setdefault(worker, set()).add(job.repo_id)
+
+    def on_message(self, message: object) -> bool:
+        if isinstance(message, PullRequest):
+            if not self._try_offer(message.worker, message.attempt):
+                if self.job_queue:
+                    # Work exists but none is local on attempt 1: the
+                    # worker idles one heartbeat (NoWork answer).
+                    self.master.send_to_worker(message.worker, NoWork(message.worker))
+                else:
+                    self.parked.append((message.worker, message.attempt))
+            return True
+        if isinstance(message, JobAccept):
+            self.master.metrics.offer_accepted(
+                self.master.sim.now, message.job, message.worker
+            )
+            self.master.note_external_assignment(message.job, message.worker)
+            return True
+        return False
+
+    def _local_for(self, worker: str, job: Job) -> bool:
+        return job.repo_id is None or job.repo_id in self.holdings.get(worker, ())
+
+    def _try_offer(self, worker: str, attempt: int) -> bool:
+        """Offer a job per the attempt rule; returns True if offered."""
+        if not self.job_queue:
+            return False
+        if attempt <= 1:
+            for index, job in enumerate(self.job_queue):
+                if self._local_for(worker, job):
+                    del self.job_queue[index]
+                    self._offer(worker, job)
+                    return True
+            return False
+        job = self.job_queue.popleft()
+        self._offer(worker, job)
+        return True
+
+    def _offer(self, worker: str, job: Job) -> None:
+        self.master.metrics.offer_made(self.master.sim.now, job, worker)
+        self.master.send_to_worker(worker, JobOffer(job=job))
+
+    def _service_parked(self) -> None:
+        """Re-examine parked pulls when new jobs arrive."""
+        still_parked: deque[tuple[str, int]] = deque()
+        while self.parked:
+            worker, attempt = self.parked.popleft()
+            if not self._try_offer(worker, attempt):
+                if self.job_queue:
+                    self.master.send_to_worker(worker, NoWork(worker))
+                else:
+                    still_parked.append((worker, attempt))
+        self.parked = still_parked
+
+
+class MatchmakingWorkerPolicy(WorkerPolicy):
+    """Pull loop with the heartbeat/attempt discipline; accepts all offers."""
+
+    def __init__(self, heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> None:
+        super().__init__()
+        if heartbeat_s <= 0:
+            raise ValueError("heartbeat_s must be positive")
+        self.heartbeat_s = heartbeat_s
+        self._responses: Optional[Store] = None
+
+    def start(self) -> None:
+        self._responses = Store(self.worker.sim)
+        self.worker.sim.process(self._pull_loop(), name=f"{self.worker.name}-puller")
+
+    def on_message(self, message: object) -> bool:
+        if isinstance(message, (JobOffer, NoWork)):
+            self._responses.put(message)
+            return True
+        return False
+
+    def _pull_loop(self):
+        worker = self.worker
+        attempt = 1
+        while True:
+            if not worker.is_idle:
+                yield worker.wait_idle()
+            if not worker.alive:
+                return
+            worker.send_to_master(PullRequest(worker=worker.name, attempt=attempt))
+            response = yield self._responses.get()
+            if isinstance(response, NoWork):
+                yield worker.sim.timeout(self.heartbeat_s)
+                attempt += 1
+                continue
+            job = response.job
+            worker.send_to_master(JobAccept(job=job, worker=worker.name))
+            worker.enqueue(job, worker._default_estimate(job))
+            yield worker.wait_idle()
+            attempt = 1
+
+
+def make_matchmaking_policy(heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> SchedulerPolicy:
+    """Package the Matchmaking scheduler for the engine/registry."""
+    return SchedulerPolicy(
+        name="matchmaking",
+        master_factory=MatchmakingMasterPolicy,
+        worker_factory=lambda: MatchmakingWorkerPolicy(heartbeat_s=heartbeat_s),
+    )

@@ -1,0 +1,141 @@
+"""A Spark-style centralized scheduler -- the Figure 2 comparator.
+
+Section 4 contrasts Crossflow with Apache Spark along three axes, all
+modelled here:
+
+1. "all task allocation occurs in advance and without considering the
+   resources that become local during execution" -- the policy plans
+   the whole known job set upfront and pushes assignments immediately;
+   nothing reacts to caches populated *during* the run;
+2. "the master produces all assignments and considers all workers
+   equal" -- planning balances job *counts*, never speeds, so slow
+   workers receive an equal share (Figure 2's straggler effect);
+3. Spark's five locality levels with a wait-and-degrade rule [2] --
+   approximated at planning time: a job whose repository is already
+   cached on some worker (per the driver's block-location view, i.e.
+   warm caches from a previous iteration) is preferred onto that worker
+   (``NODE_LOCAL``), unless that worker's plan is already
+   ``locality_wait_slots`` jobs above the fair share, at which point
+   the job degrades to ``ANY`` and goes to the least-loaded worker.
+   This reproduces the *effect* of Spark's locality-wait timeout (bounded
+   waiting for a local slot) in a plan-time form, since upfront
+   allocation has no queue to wait in.
+
+Dynamically spawned jobs (pipeline children, unknown at planning time)
+are assigned on arrival by the same balanced, locality-blind rule --
+Spark would launch them as a new stage with the same driver behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.schedulers.base import (
+    MasterPolicy,
+    PassiveWorkerPolicy,
+    SchedulerPolicy,
+)
+from repro.workload.job import Job
+
+
+class SparkMasterPolicy(MasterPolicy):
+    """Centralized upfront allocation with plan-time locality preference."""
+
+    name = "spark"
+    requires_upfront = True
+
+    def __init__(
+        self,
+        locality_wait_slots: int = 2,
+        use_locality: bool = True,
+    ) -> None:
+        super().__init__()
+        if locality_wait_slots < 0:
+            raise ValueError("locality_wait_slots must be non-negative")
+        self.locality_wait_slots = locality_wait_slots
+        self.use_locality = use_locality
+        #: The driver's block-location view: worker -> cached repo ids.
+        #: Injected by the runtime from the *initial* cache contents
+        #: (Spark never learns about clones made during the run).
+        self.cache_view: dict[str, set[str]] = {}
+        self._plan: dict[str, str] = {}
+        self._planned_counts: dict[str, int] = {}
+        self._order: Optional[list[str]] = None
+
+    def _executor_order(self) -> list[str]:
+        """The driver's executor list, shuffled per run.
+
+        Real executors register with the driver in a timing-dependent
+        order, so re-running the same application does not reproduce the
+        same partition->executor mapping.  Without this, a re-run would
+        accidentally inherit perfect data locality from its own previous
+        assignment -- something Spark (which cannot see the on-disk clone
+        caches) never gets.
+        """
+        if self._order is None:
+            order = list(self.master.worker_names)
+            self.master.rng.shuffle(order)
+            self._order = order
+        return self._order
+
+    # -- planning ------------------------------------------------------------
+
+    def on_upfront_jobs(self, jobs: list[Job]) -> None:
+        """Compute the full assignment before the run starts."""
+        workers = self._executor_order()
+        self._planned_counts = {worker: 0 for worker in workers}
+        fair_share = len(jobs) / len(workers)
+        cap = fair_share + self.locality_wait_slots
+        for job in jobs:
+            worker = None
+            if self.use_locality and job.repo_id is not None:
+                holders = [
+                    name
+                    for name in workers
+                    if job.repo_id in self.cache_view.get(name, ())
+                ]
+                # NODE_LOCAL if a holder has plan room; else degrade to ANY.
+                holders = [h for h in holders if self._planned_counts[h] < cap]
+                if holders:
+                    worker = min(holders, key=lambda h: (self._planned_counts[h], h))
+            if worker is None:
+                worker = self._least_loaded(workers)
+            self._plan[job.job_id] = worker
+            self._planned_counts[worker] += 1
+
+    def _least_loaded(self, workers: list[str]) -> str:
+        """Balanced by *count* only -- all workers are equal to Spark.
+
+        Ties break by the run's executor registration order, keeping the
+        whole plan deterministic per run yet varying across runs.
+        """
+        return min(
+            enumerate(workers), key=lambda pair: (self._planned_counts[pair[1]], pair[0])
+        )[1]
+
+    # -- arrival-time dispatch --------------------------------------------------
+
+    def on_job(self, job: Job) -> None:
+        worker = self._plan.pop(job.job_id, None)
+        if worker is None:
+            # A dynamically spawned job: balanced, locality-blind.
+            workers = self._executor_order()
+            if not self._planned_counts:
+                self._planned_counts = {name: 0 for name in workers}
+            worker = self._least_loaded(workers)
+            self._planned_counts[worker] += 1
+        self.master.assign(job, worker)
+
+
+def make_spark_policy(
+    locality_wait_slots: int = 2, use_locality: bool = True
+) -> SchedulerPolicy:
+    """Package the Spark-style scheduler for the engine/registry."""
+    return SchedulerPolicy(
+        name="spark",
+        master_factory=lambda: SparkMasterPolicy(
+            locality_wait_slots=locality_wait_slots, use_locality=use_locality
+        ),
+        worker_factory=PassiveWorkerPolicy,
+        requires_upfront=True,
+    )

@@ -1,0 +1,162 @@
+"""The discrete-event simulation event loop.
+
+:class:`Simulator` owns the simulation clock and a binary heap of
+``(time, priority, sequence, event)`` entries.  :meth:`Simulator.step`
+pops the earliest entry, advances the clock and runs the event's
+callbacks; :meth:`Simulator.run` steps until the heap is empty, a
+deadline is reached, or a given event has been processed.
+
+The sequence number makes the ordering of simultaneous events
+deterministic (FIFO in scheduling order), which in turn makes every
+experiment in this repository reproducible bit-for-bit under a fixed
+seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, Optional
+
+from repro.sim.events import NORMAL, Event, Timeout
+from repro.sim.process import Process
+
+
+class StopSimulation(Exception):
+    """Raised internally to halt :meth:`Simulator.run` at a target event."""
+
+    def __init__(self, event: Event) -> None:
+        super().__init__(event)
+        self.event = event
+
+
+class EmptySchedule(Exception):
+    """Raised by :meth:`Simulator.step` when no events remain."""
+
+
+class Simulator:
+    """Discrete-event simulation kernel.
+
+    Parameters
+    ----------
+    start_time:
+        Initial value of the simulation clock (seconds).  Defaults to 0.
+
+    Notes
+    -----
+    All time values are plain floats in *simulated seconds*.  The kernel
+    never consults the wall clock.
+    """
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._heap: list[tuple[float, int, int, Event]] = []
+        self._seq = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock -----------------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed, if any."""
+        return self._active_process
+
+    # -- event factories ---------------------------------------------------
+
+    def event(self) -> Event:
+        """Create a fresh, untriggered :class:`~repro.sim.events.Event`."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` simulated seconds from now."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: Optional[str] = None) -> Process:
+        """Start a new cooperative process running ``generator``."""
+        return Process(self, generator, name=name)
+
+    # -- scheduling --------------------------------------------------------
+
+    def _schedule(self, event: Event, priority: int = NORMAL, delay: float = 0.0) -> None:
+        """Push a triggered event onto the heap ``delay`` seconds from now."""
+        heapq.heappush(self._heap, (self._now + delay, priority, next(self._seq), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``float('inf')`` if none."""
+        if not self._heap:
+            return float("inf")
+        return self._heap[0][0]
+
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Advances the clock to that event's time and runs its callbacks.
+        Unhandled event failures propagate out of this method.
+        """
+        try:
+            when, _prio, _seq, event = heapq.heappop(self._heap)
+        except IndexError:
+            raise EmptySchedule() from None
+        self._now = when
+        callbacks, event.callbacks = event.callbacks, None
+        assert callbacks is not None, "event processed twice"
+        for callback in callbacks:
+            callback(event)
+        if event._ok is False and not event._defused:
+            # Nobody handled the failure: surface it to the caller of run().
+            exc = event._value
+            raise exc
+
+    def run(self, until: Optional[Any] = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            * ``None`` -- run until no events remain.
+            * a number -- run until the clock reaches that time (the clock
+              is set to exactly ``until`` on return).
+            * an :class:`~repro.sim.events.Event` -- run until that event
+              has been processed and return its value.
+
+        Returns
+        -------
+        The value of ``until`` when it is an event, otherwise ``None``.
+        """
+        target_event: Optional[Event] = None
+        deadline: Optional[float] = None
+        if until is not None:
+            if isinstance(until, Event):
+                if until.processed:
+                    return until.value
+                target_event = until
+                until.add_callback(self._stop_callback)
+            else:
+                deadline = float(until)
+                if deadline < self._now:
+                    raise ValueError(
+                        f"until ({deadline}) must not be in the past (now={self._now})"
+                    )
+        try:
+            while self._heap:
+                if deadline is not None and self._heap[0][0] > deadline:
+                    break
+                self.step()
+        except StopSimulation as stop:
+            return stop.event.value
+        if deadline is not None:
+            self._now = deadline
+        if target_event is not None:
+            raise RuntimeError(
+                "simulation ran out of events before the target event triggered"
+            )
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        raise StopSimulation(event)

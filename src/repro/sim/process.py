@@ -1,0 +1,152 @@
+"""Generator-based cooperative processes.
+
+A :class:`Process` wraps a Python generator.  Each ``yield`` must produce
+an :class:`~repro.sim.events.Event`; the process is suspended until the
+kernel processes that event, at which point the generator is resumed with
+the event's value (or the event's exception is thrown into it).
+
+A :class:`Process` is itself an :class:`~repro.sim.events.Event` that
+succeeds with the generator's return value, so processes can wait on each
+other simply by yielding them.
+
+Interrupts
+----------
+:meth:`Process.interrupt` throws an :class:`Interrupt` into the target
+process the next time the kernel runs, aborting whatever event it was
+waiting on.  The interrupted process may catch the exception and continue
+(e.g. a worker abandoning a download when its job is cancelled).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.events import NORMAL, PENDING, URGENT, Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Interrupt(Exception):
+    """Thrown into a process by :meth:`Process.interrupt`.
+
+    Attributes
+    ----------
+    cause:
+        Arbitrary object passed by the interrupter describing the reason.
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]
+
+
+class _Initialize(Event):
+    """Internal event used to kick off a freshly created process."""
+
+    __slots__ = ()
+
+    def __init__(self, sim: "Simulator", process: "Process") -> None:
+        super().__init__(sim)
+        self._ok = True
+        self._value = None
+        self.callbacks.append(process._resume)
+        sim._schedule(self, URGENT, 0.0)
+
+
+class Process(Event):
+    """A running cooperative process (also the event of its completion)."""
+
+    __slots__ = ("generator", "name", "_target")
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        generator: Generator,
+        name: Optional[str] = None,
+    ) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise TypeError(f"expected a generator, got {generator!r}")
+        super().__init__(sim)
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", type(generator).__name__)
+        #: The event this process is currently waiting on (None when running
+        #: or finished).
+        self._target: Optional[Event] = None
+        _Initialize(sim, self)
+
+    @property
+    def is_alive(self) -> bool:
+        """``True`` while the generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into this process as soon as possible."""
+        if not self.is_alive:
+            raise RuntimeError(f"{self!r} has already terminated")
+        if self is self.sim.active_process:
+            raise RuntimeError("a process cannot interrupt itself")
+        failure = Event(self.sim)
+        failure._ok = False
+        failure._value = Interrupt(cause)
+        failure._defused = True
+        failure.callbacks.append(self._resume)
+        self.sim._schedule(failure, URGENT, 0.0)
+
+    # -- kernel interface ------------------------------------------------
+
+    def _resume(self, event: Event) -> None:
+        """Resume the generator with ``event``'s outcome (kernel callback)."""
+        if not self.is_alive:
+            # The process finished (or was resumed by an interrupt) before
+            # this event fired; ignore the stale wakeup.
+            return
+        self.sim._active_process = self
+        # Detach from the event we were waiting on: if this resume comes
+        # from an interrupt, the original target may still fire later and
+        # must not resume us again (handled by the is_alive/_target check).
+        if self._target is not None and self._target is not event:
+            # Interrupted: the original target's callback must become inert.
+            try:
+                self._target.callbacks.remove(self._resume)
+            except (ValueError, AttributeError):
+                pass
+        self._target = None
+        try:
+            if event._ok:
+                next_event = self.generator.send(event._value)
+            else:
+                # Event failed (or interrupt): throw into the generator.
+                event._defused = True
+                next_event = self.generator.throw(event._value)
+        except StopIteration as stop:
+            self.sim._active_process = None
+            self._ok = True
+            self._value = stop.value
+            self.sim._schedule(self, NORMAL, 0.0)
+            return
+        except BaseException as exc:
+            self.sim._active_process = None
+            self._ok = False
+            self._value = exc
+            self.sim._schedule(self, NORMAL, 0.0)
+            return
+        self.sim._active_process = None
+        if not isinstance(next_event, Event):
+            error = RuntimeError(
+                f"process {self.name!r} yielded a non-event: {next_event!r}"
+            )
+            self.generator.close()
+            self._ok = False
+            self._value = error
+            self.sim._schedule(self, NORMAL, 0.0)
+            return
+        self._target = next_event
+        next_event.add_callback(self._resume)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "alive" if self.is_alive else "finished"
+        return f"<Process {self.name!r} {state}>"

@@ -1,0 +1,48 @@
+"""Workload substrate: jobs, pipelines and the paper's job configurations.
+
+* :mod:`repro.workload.job` -- the job model: "each job is defined as a
+  piece of data required to process a task" (Section 2),
+* :mod:`repro.workload.pipeline` -- a Crossflow-style workflow DSL of
+  tasks connected by typed channels (Figure 1),
+* :mod:`repro.workload.msr` -- the mining-software-repositories pipeline
+  of the motivating example,
+* :mod:`repro.workload.generators` -- the five job configurations of
+  Section 6.3.1 (``all_diff_equal``, ``all_diff_large``,
+  ``all_diff_small``, ``80%_large``, ``80%_small``), 120 jobs each.
+"""
+
+from repro.workload.generators import (
+    JOB_CONFIG_BUILDERS,
+    JobConfig,
+    all_diff_equal,
+    all_diff_large,
+    all_diff_small,
+    eighty_pct_large,
+    eighty_pct_small,
+    job_config_by_name,
+)
+from repro.workload.job import Job, JobArrival, JobStream
+from repro.workload.msr import MSRPipelineSpec, build_msr_pipeline
+from repro.workload.pipeline import Channel, Pipeline, Task
+from repro.workload.replay import load_trace, save_trace
+
+__all__ = [
+    "Channel",
+    "JOB_CONFIG_BUILDERS",
+    "Job",
+    "JobArrival",
+    "JobConfig",
+    "JobStream",
+    "MSRPipelineSpec",
+    "Pipeline",
+    "Task",
+    "all_diff_equal",
+    "all_diff_large",
+    "all_diff_small",
+    "build_msr_pipeline",
+    "eighty_pct_large",
+    "eighty_pct_small",
+    "job_config_by_name",
+    "load_trace",
+    "save_trace",
+]

@@ -1,0 +1,112 @@
+"""Trace-replay workloads: bring-your-own job traces.
+
+The paper's evaluation uses synthetic configurations, but a downstream
+user of this library will usually want to replay *their* workload.  The
+trace format is a JSON array of records::
+
+    [
+      {"at": 0.0,  "job_id": "j0", "repo_id": "torvalds/linux",
+       "size_mb": 3800.0, "base_compute_s": 2.0},
+      {"at": 12.5, "job_id": "j1", "repo_id": "torvalds/linux",
+       "size_mb": 3800.0}
+    ]
+
+``repo_id`` may be ``null`` (with ``size_mb`` 0/omitted) for data-free
+jobs; ``task`` defaults to the repository-analysis stage.  Arrival times
+need not be sorted -- the stream sorts them.
+
+:func:`save_trace` writes any :class:`~repro.workload.job.JobStream`
+back out in the same format, so paper workloads can be exported, edited
+and replayed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+from repro.data.repository import Repository, RepositoryCorpus
+from repro.workload.job import Job, JobArrival, JobStream
+from repro.workload.msr import TASK_ANALYZER
+
+#: Keys accepted in a trace record (anything else is an error: silent
+#: typos in hand-written traces are worse than strictness).
+_ALLOWED_KEYS = {"at", "job_id", "task", "repo_id", "size_mb", "base_compute_s", "payload"}
+
+
+def _job_from_record(record: dict, index: int) -> tuple[float, Job]:
+    unknown = set(record) - _ALLOWED_KEYS
+    if unknown:
+        raise ValueError(f"trace record {index}: unknown keys {sorted(unknown)}")
+    try:
+        at = float(record.get("at", 0.0))
+    except (TypeError, ValueError):
+        raise ValueError(f"trace record {index}: invalid 'at'") from None
+    job = Job(
+        job_id=str(record.get("job_id", f"trace-{index:05d}")),
+        task=str(record.get("task", TASK_ANALYZER)),
+        repo_id=record.get("repo_id"),
+        size_mb=float(record.get("size_mb", 0.0)),
+        base_compute_s=float(record.get("base_compute_s", 0.0)),
+        payload=tuple(record.get("payload", ())),
+    )
+    return at, job
+
+
+def load_trace(path: Union[str, Path], name: str | None = None) -> tuple[RepositoryCorpus, JobStream]:
+    """Read a JSON job trace; returns the referenced corpus + stream.
+
+    Repository sizes must be consistent: the same ``repo_id`` appearing
+    with two different sizes is an error (one clone has one size).
+    """
+    path = Path(path)
+    with path.open("r", encoding="utf-8") as handle:
+        records = json.load(handle)
+    if not isinstance(records, list):
+        raise ValueError(f"{path}: trace must be a JSON array")
+    corpus = RepositoryCorpus()
+    sizes: dict[str, float] = {}
+    arrivals = []
+    seen_ids: set[str] = set()
+    for index, record in enumerate(records):
+        if not isinstance(record, dict):
+            raise ValueError(f"trace record {index}: expected an object")
+        at, job = _job_from_record(record, index)
+        if job.job_id in seen_ids:
+            raise ValueError(f"trace record {index}: duplicate job_id {job.job_id!r}")
+        seen_ids.add(job.job_id)
+        if job.repo_id is not None:
+            known = sizes.get(job.repo_id)
+            if known is None:
+                sizes[job.repo_id] = job.size_mb
+                corpus.add(Repository(repo_id=job.repo_id, size_mb=job.size_mb))
+            elif abs(known - job.size_mb) > 1e-9:
+                raise ValueError(
+                    f"trace record {index}: repo {job.repo_id!r} has size "
+                    f"{job.size_mb} but appeared earlier with {known}"
+                )
+        arrivals.append(JobArrival(at=at, job=job))
+    stream = JobStream(arrivals=arrivals, name=name or path.stem)
+    return corpus, stream
+
+
+def save_trace(stream: JobStream, path: Union[str, Path]) -> Path:
+    """Write a stream as a JSON trace (inverse of :func:`load_trace`)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    records = []
+    for arrival in stream:
+        job = arrival.job
+        record: dict = {"at": arrival.at, "job_id": job.job_id, "task": job.task}
+        if job.repo_id is not None:
+            record["repo_id"] = job.repo_id
+            record["size_mb"] = job.size_mb
+        if job.base_compute_s:
+            record["base_compute_s"] = job.base_compute_s
+        if job.payload:
+            record["payload"] = list(job.payload)
+        records.append(record)
+    with path.open("w", encoding="utf-8") as handle:
+        json.dump(records, handle, indent=2)
+    return path

@@ -1,0 +1,147 @@
+"""Tests for the top-level convenience API and remaining CLI paths."""
+
+import pytest
+
+from repro import compare_schedulers, run_workflow
+from repro.engine.runtime import EngineConfig
+
+
+class TestRunWorkflow:
+    def test_returns_one_result_per_iteration(self):
+        runs = run_workflow(
+            scheduler="round-robin",
+            workload="80%_small",
+            profile="all-equal",
+            seed=2,
+            iterations=2,
+        )
+        assert [run.iteration for run in runs] == [0, 1]
+        assert all(run.scheduler == "round-robin" for run in runs)
+
+    def test_scheduler_kwargs_forwarded(self):
+        # A pathological window forces fallbacks; the kwarg must reach
+        # the policy factory for that to happen.
+        runs = run_workflow(
+            scheduler="bidding",
+            workload="80%_small",
+            profile="all-equal",
+            seed=2,
+            iterations=1,
+            window_s=0.05,
+            bid_compute_s=0.5,
+        )
+        assert runs[0].contests_fallback > 0
+
+    def test_unknown_scheduler_raises(self):
+        with pytest.raises(KeyError):
+            run_workflow(scheduler="oracle", iterations=1)
+
+
+class TestCompareSchedulers:
+    def test_all_requested_schedulers_present(self):
+        results = compare_schedulers(
+            workload="80%_small",
+            profile="all-equal",
+            seed=2,
+            schedulers=("random", "round-robin"),
+            iterations=1,
+        )
+        assert set(results) == {"random", "round-robin"}
+
+    def test_identical_workload_across_schedulers(self):
+        results = compare_schedulers(
+            workload="all_small_strict",
+            profile="all-equal",
+            seed=2,
+            schedulers=("random", "round-robin"),
+            iterations=1,
+        )
+        jobs = {name: runs[0].jobs_completed for name, runs in results.items()}
+        assert set(jobs.values()) == {120}
+
+
+class TestEngineConfigValidation:
+    def test_message_loss_bounds(self):
+        with pytest.raises(ValueError):
+            EngineConfig(message_loss=-0.1)
+        with pytest.raises(ValueError):
+            EngineConfig(message_loss=1.0)
+
+    def test_max_sim_time_positive(self):
+        with pytest.raises(ValueError):
+            EngineConfig(max_sim_time=0.0)
+
+    def test_defaults_valid(self):
+        config = EngineConfig()
+        assert config.message_loss == 0.0
+        assert config.prefetch is False
+        assert config.shared_origin_mbps is None
+
+
+class TestCLIPaths:
+    def test_report_subcommand_delegates(self, monkeypatch, capsys, tmp_path):
+        import repro.experiments.html_report as html_report
+        from repro.cli import main
+
+        written = {}
+
+        def fake_generate(out, parallel=None):
+            written["out"] = out
+            path = tmp_path / "r.html"
+            path.write_text("<html></html>")
+            return path
+
+        monkeypatch.setattr(html_report, "generate", fake_generate)
+        assert main(["report", "--out", str(tmp_path / "r.html")]) == 0
+        assert "report written to" in capsys.readouterr().out
+        assert written["out"] == str(tmp_path / "r.html")
+
+    def test_run_save_csv(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.experiments.report_io import load_csv
+
+        csv_path = tmp_path / "out.csv"
+        code = main(
+            [
+                "run",
+                "--scheduler",
+                "round-robin",
+                "--workload",
+                "80%_small",
+                "--seed",
+                "2",
+                "--iterations",
+                "1",
+                "--save-csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        loaded = load_csv(csv_path)
+        assert len(loaded) == 1
+        assert loaded[0].scheduler == "round-robin"
+
+    def test_cold_flag_prevents_cache_carryover(self, capsys):
+        from repro.cli import main
+
+        main(
+            [
+                "run",
+                "--scheduler",
+                "bidding",
+                "--workload",
+                "all_small_strict",
+                "--seed",
+                "2",
+                "--iterations",
+                "2",
+                "--cold",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert "caches cold" in out
+        # Both iterations show full misses in the table (120 each).
+        miss_columns = [
+            line.split()[2] for line in out.splitlines() if line.startswith(("0 ", "1 "))
+        ]
+        assert miss_columns == ["120", "120"]

@@ -1,0 +1,95 @@
+"""Tests for the calibration audit."""
+
+import pytest
+
+from repro.experiments.calibrate import (
+    Calibration,
+    CalibrationScore,
+    PAPER_DATA_REDUCTION_PCT,
+    PAPER_MISS_REDUCTION_PCT,
+    PAPER_SPEEDUP_PCT,
+    evaluate,
+    render,
+    run_grid,
+    score_result,
+)
+from repro.experiments.fig3_aggregates import Fig3Result, WorkloadRow
+
+
+def synthetic_result(speedup_factor):
+    """A Fig3Result with uniform rows at a chosen baseline/bidding ratio."""
+    rows = []
+    for name in ("a", "b"):
+        rows.append(
+            WorkloadRow(
+                workload=name,
+                baseline_time_s=100.0,
+                bidding_time_s=100.0 / speedup_factor,
+                baseline_misses=40.0,
+                bidding_misses=20.0,
+                baseline_data_mb=1000.0,
+                bidding_data_mb=550.0,
+            )
+        )
+    return Fig3Result(rows=tuple(rows))
+
+
+class TestScoring:
+    def test_perfect_match_scores_zero(self):
+        # Construct a result hitting the paper numbers exactly.
+        rows = (
+            WorkloadRow(
+                workload="w",
+                baseline_time_s=100.0,
+                bidding_time_s=100.0 - PAPER_SPEEDUP_PCT,
+                baseline_misses=100.0,
+                bidding_misses=100.0 - PAPER_MISS_REDUCTION_PCT,
+                baseline_data_mb=100.0,
+                bidding_data_mb=100.0 - PAPER_DATA_REDUCTION_PCT,
+            ),
+        )
+        score = score_result(Calibration(), Fig3Result(rows=rows))
+        assert score.score == pytest.approx(0.0, abs=1e-9)
+
+    def test_gap_is_mean_absolute(self):
+        result = synthetic_result(speedup_factor=2.0)  # 50% speedup
+        score = score_result(Calibration(), result)
+        expected = (
+            abs(50.0 - PAPER_SPEEDUP_PCT)
+            + abs(50.0 - PAPER_MISS_REDUCTION_PCT)
+            + abs(45.0 - PAPER_DATA_REDUCTION_PCT)
+        ) / 3.0
+        assert score.score == pytest.approx(expected)
+
+    def test_calibration_name(self):
+        assert Calibration(label="x").name() == "x"
+        assert "sigma=0.3" in Calibration(noise_sigma=0.3).name()
+
+
+class TestGrid:
+    def test_small_grid_runs_and_sorts(self):
+        grid = (
+            Calibration(noise_sigma=0.0, label="quiet"),
+            Calibration(noise_sigma=0.25, label="noisy"),
+        )
+        scores = run_grid(grid, seeds=(11,))
+        assert len(scores) == 2
+        assert scores[0].score <= scores[1].score
+
+    def test_evaluate_respects_window(self):
+        # A pathologically short window degrades the aggregates.
+        good = evaluate(Calibration(bid_window_s=1.0), profiles=("one-slow",))
+        bad = evaluate(Calibration(bid_window_s=0.05), profiles=("one-slow",))
+        assert bad.speedup_pct < good.speedup_pct
+
+    def test_render_contains_labels(self):
+        scores = [
+            CalibrationScore(
+                calibration=Calibration(label="demo"),
+                speedup_pct=30.0,
+                miss_reduction_pct=40.0,
+                data_reduction_pct=50.0,
+            )
+        ]
+        text = render(scores)
+        assert "demo" in text and "mean |gap|" in text

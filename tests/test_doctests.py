@@ -1,0 +1,24 @@
+"""Run the doctest examples embedded in module docstrings.
+
+Only modules with cheap, self-contained examples are included; the
+point is that every example a reader might copy-paste actually works.
+"""
+
+import doctest
+
+import pytest
+
+import repro
+import repro.metrics.ascii_chart
+import repro.sim
+
+
+@pytest.mark.parametrize(
+    "module",
+    [repro.sim, repro.metrics.ascii_chart, repro],
+    ids=lambda module: module.__name__,
+)
+def test_module_doctests(module):
+    results = doctest.testmod(module, verbose=False, raise_on_error=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"
+    assert results.attempted > 0, f"no doctests collected from {module.__name__}"

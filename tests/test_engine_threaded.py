@@ -1,0 +1,79 @@
+"""Tests for the real-time threaded engine."""
+
+import pytest
+
+from conftest import make_spec
+from repro.engine.threaded import ThreadedMaster
+from repro.workload.job import Job
+from repro.workload.msr import TASK_ANALYZER
+
+#: Fast wall-clock scale for tests: 1 simulated second = 20 microseconds.
+SCALE = 2e-5
+
+
+def jobs_for(specs):
+    return [
+        Job(job_id=f"j{i}", task=TASK_ANALYZER, repo_id=repo, size_mb=size)
+        for i, (repo, size) in enumerate(specs)
+    ]
+
+
+def specs(n=3):
+    return [make_spec(f"w{i + 1}") for i in range(n)]
+
+
+class TestThreadedBidding:
+    def test_completes_all_jobs(self):
+        master = ThreadedMaster(specs(), scheduler="bidding", time_scale=SCALE)
+        result = master.run(jobs_for([(f"r{i}", 10.0) for i in range(20)]))
+        assert sum(result.jobs_per_worker.values()) == 20
+        assert result.cache_misses == 20  # all distinct, cold
+
+    def test_repeated_repo_mostly_cached(self):
+        master = ThreadedMaster(specs(), scheduler="bidding", time_scale=SCALE)
+        result = master.run(jobs_for([("hot", 50.0)] * 15))
+        # First job downloads; the vast majority of the rest hit the cache.
+        assert result.cache_misses < 5
+        assert result.cache_hits > 10
+
+    def test_fast_worker_wins_more(self):
+        fleet = [
+            make_spec("fast", network=40.0, rw=200.0, cpu_factor=4.0),
+            make_spec("slow", network=10.0, rw=50.0),
+        ]
+        master = ThreadedMaster(fleet, scheduler="bidding", time_scale=SCALE)
+        result = master.run(jobs_for([(f"r{i}", 50.0) for i in range(20)]))
+        assert result.jobs_per_worker["fast"] > result.jobs_per_worker["slow"]
+
+    def test_data_load_matches_misses_for_uniform_sizes(self):
+        master = ThreadedMaster(specs(), scheduler="bidding", time_scale=SCALE)
+        result = master.run(jobs_for([(f"r{i}", 10.0) for i in range(12)]))
+        assert result.data_load_mb == pytest.approx(result.cache_misses * 10.0)
+
+
+class TestThreadedBaseline:
+    def test_completes_all_jobs(self):
+        master = ThreadedMaster(specs(), scheduler="baseline", time_scale=SCALE)
+        result = master.run(jobs_for([(f"r{i}", 10.0) for i in range(20)]))
+        assert sum(result.jobs_per_worker.values()) == 20
+
+    def test_holder_preferred_when_available(self):
+        master = ThreadedMaster(specs(2), scheduler="baseline", time_scale=SCALE)
+        result = master.run(jobs_for([("hot", 20.0)] * 10))
+        # Once one worker holds the clone, it should absorb most repeats.
+        assert result.cache_misses <= 3
+
+
+class TestValidation:
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadedMaster(specs(), scheduler="spark")
+
+    def test_invalid_time_scale_rejected(self):
+        with pytest.raises(ValueError):
+            ThreadedMaster(specs(), time_scale=0.0)
+
+    def test_empty_job_list_rejected(self):
+        master = ThreadedMaster(specs(), time_scale=SCALE)
+        with pytest.raises(ValueError):
+            master.run([])

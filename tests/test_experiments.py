@@ -1,0 +1,208 @@
+"""Tests for the experiment harness (small-scale figure/table runs)."""
+
+import pytest
+
+from repro.experiments import fig2_spark, fig3_aggregates, fig4_breakdown, tables_msr
+from repro.experiments.configs import (
+    EVALUATION_SEEDS,
+    ITERATIONS,
+    JOB_CONFIG_NAMES,
+    PROFILE_NAMES,
+    default_engine_config,
+)
+from repro.experiments.runner import (
+    CellSpec,
+    ResultSet,
+    expand_matrix,
+    run_cell,
+    run_matrix,
+)
+
+
+class TestConfigs:
+    def test_matrix_dimensions_match_paper(self):
+        assert len(PROFILE_NAMES) == 4
+        assert len(JOB_CONFIG_NAMES) == 5
+        assert ITERATIONS == 3
+
+    def test_engine_config_disables_trace_for_bulk_runs(self):
+        assert default_engine_config(1).trace is False
+
+
+class TestCellSpec:
+    def test_with_scheduler_kwargs_merges(self):
+        spec = CellSpec(scheduler="bidding", workload="80%_large", profile="all-equal", seed=1)
+        updated = spec.with_scheduler_kwargs(window_s=0.5)
+        updated = updated.with_scheduler_kwargs(window_s=2.0, bid_compute_s=0.0)
+        kwargs = dict(updated.scheduler_kwargs)
+        assert kwargs == {"window_s": 2.0, "bid_compute_s": 0.0}
+
+    def test_run_cell_returns_one_result_per_iteration(self):
+        spec = CellSpec(
+            scheduler="round-robin",
+            workload="80%_small",
+            profile="all-equal",
+            seed=11,
+            iterations=2,
+        )
+        results = run_cell(spec)
+        assert [r.iteration for r in results] == [0, 1]
+
+    def test_keep_cache_false_stays_cold(self):
+        spec = CellSpec(
+            scheduler="bidding",
+            workload="all_diff_small",
+            profile="all-equal",
+            seed=11,
+            iterations=2,
+            keep_cache=False,
+        )
+        results = run_cell(spec)
+        assert results[0].cache_misses == results[1].cache_misses == 120
+
+
+class TestMatrix:
+    def test_expand_matrix_cross_product(self):
+        cells = expand_matrix(
+            schedulers=["a", "b"],
+            workloads=["w1", "w2", "w3"],
+            profiles=["p"],
+            seeds=[1, 2],
+        )
+        assert len(cells) == 2 * 3 * 1 * 2
+
+    def test_scheduler_kwargs_only_apply_to_named(self):
+        cells = expand_matrix(
+            schedulers=["baseline", "spark"],
+            workloads=["w"],
+            profiles=["p"],
+            seeds=[1],
+            scheduler_kwargs={"spark": {"use_locality": False}},
+        )
+        by_scheduler = {cell.scheduler: cell for cell in cells}
+        assert by_scheduler["spark"].scheduler_kwargs == (("use_locality", False),)
+        assert by_scheduler["baseline"].scheduler_kwargs == ()
+
+    def test_run_matrix_parallel_matches_serial(self):
+        cells = expand_matrix(
+            schedulers=["round-robin"],
+            workloads=["80%_small"],
+            profiles=["all-equal"],
+            seeds=[11, 23],
+            iterations=1,
+        )
+        serial = run_matrix(cells, parallel=1)
+        parallel = run_matrix(cells, parallel=2)
+        assert [r.makespan_s for r in serial] == [r.makespan_s for r in parallel]
+
+
+class TestResultSet:
+    def test_filters_and_means(self):
+        cells = expand_matrix(
+            schedulers=["baseline", "bidding"],
+            workloads=["80%_small"],
+            profiles=["all-equal"],
+            seeds=[11],
+            iterations=2,
+        )
+        results = ResultSet(run_matrix(cells))
+        assert len(results.where(scheduler="bidding")) == 2
+        assert len(results.where(scheduler="bidding", iteration=0)) == 1
+        assert results.mean_makespan(scheduler="bidding") > 0
+
+    def test_empty_filter_raises(self):
+        results = ResultSet([])
+        with pytest.raises(ValueError):
+            results.mean_makespan(scheduler="nobody")
+
+
+class TestFigureModules:
+    """Scaled-down versions of each figure run end-to-end."""
+
+    def test_fig3_small(self):
+        result = fig3_aggregates.run_fig3(
+            seeds=(11,), profiles=("all-equal",), workloads=("80%_small",), iterations=2
+        )
+        row = result.row("80%_small")
+        assert row.baseline_time_s > 0
+        assert row.bidding_time_s > 0
+        rendered = fig3_aggregates.render(result)
+        assert "Figure 3a" in rendered and "80%_small" in rendered
+
+    def test_fig3_unknown_row_raises(self):
+        result = fig3_aggregates.run_fig3(
+            seeds=(11,), profiles=("all-equal",), workloads=("80%_small",), iterations=1
+        )
+        with pytest.raises(KeyError):
+            result.row("nonexistent")
+
+    def test_fig2_small(self):
+        result = fig2_spark.run_fig2(seeds=(11,), iterations=1)
+        assert len(result.groups) == 4
+        g1 = result.group("G1")
+        assert g1.spark_time_s > g1.crossflow_time_s  # straggler effect
+        rendered = fig2_spark.render(result)
+        assert "spark slower by" in rendered
+
+    def test_fig4_small(self):
+        result = fig4_breakdown.run_fig4(
+            seeds=(11,),
+            profiles=("all-equal", "one-slow"),
+            workloads=("80%_small",),
+            iterations=2,
+        )
+        assert len(result.cells) == 2
+        cell = result.cell("80%_small", "one-slow")
+        assert cell.speedup > 0
+        assert result.best_vs_centralized > 0
+        rendered = fig4_breakdown.render(result)
+        assert "Figure 4" in rendered
+
+    def test_tables_msr_structure(self):
+        tables = tables_msr.run_tables(seeds=(101,))
+        assert tables.runs == 1
+        bidding_time, baseline_time = tables.time_row(0)
+        assert bidding_time > 0 and baseline_time > 0
+        bidding_mb, baseline_mb = tables.data_row(0)
+        assert bidding_mb < baseline_mb  # the headline Table 2 direction
+        bidding_miss, baseline_miss = tables.miss_row(0)
+        assert bidding_miss < baseline_miss
+        rendered = tables_msr.render(tables)
+        assert "Table 1" in rendered and "Table 3" in rendered
+
+
+class TestCLI:
+    def test_run_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "run",
+                "--scheduler",
+                "round-robin",
+                "--workload",
+                "80%_small",
+                "--profile",
+                "all-equal",
+                "--seed",
+                "11",
+                "--iterations",
+                "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "makespan" in out
+        assert "round-robin" in out
+
+    def test_unknown_scheduler_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["run", "--scheduler", "psychic"])
+
+    def test_requires_subcommand(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,109 @@
+"""Tests for the HTML report generator."""
+
+import pytest
+
+from repro.experiments.fig2_spark import Fig2Group, Fig2Result
+from repro.experiments.fig3_aggregates import Fig3Result, WorkloadRow
+from repro.experiments.fig4_breakdown import Fig4Cell, Fig4Result
+from repro.experiments.html_report import (
+    ReportInputs,
+    _svg_grouped_bars,
+    _table,
+    build_report,
+)
+from repro.experiments.tables_msr import MSRTables
+from repro.metrics.report import RunResult
+
+
+def fake_run(scheduler, makespan, misses=10, data=100.0):
+    return RunResult(
+        scheduler=scheduler,
+        workload="msr",
+        profile="msr-equal",
+        seed=1,
+        iteration=0,
+        makespan_s=makespan,
+        cache_misses=misses,
+        cache_hits=5,
+        data_load_mb=data,
+        jobs_completed=50,
+    )
+
+
+def fake_inputs():
+    fig2 = Fig2Result(
+        groups=(
+            Fig2Group("G1 fast-slow / large", "fast-slow", "all_diff_large", 100.0, 600.0),
+            Fig2Group("G2 all-equal / small", "all-equal", "all_small_strict", 50.0, 60.0),
+        )
+    )
+    fig3 = Fig3Result(
+        rows=(
+            WorkloadRow("80%_large", 200.0, 100.0, 30.0, 15.0, 1000.0, 500.0),
+            WorkloadRow("80%_small", 80.0, 60.0, 28.0, 16.0, 700.0, 400.0),
+        )
+    )
+    fig4 = Fig4Result(
+        cells=(
+            Fig4Cell("80%_large", "all-equal", 200.0, 100.0, 300.0, 310.0),
+        ),
+        best_vs_centralized=4.2,
+        best_vs_centralized_cell=("80%_large", "all-equal"),
+    )
+    tables = MSRTables(
+        bidding=(fake_run("bidding", 3000.0),),
+        baseline=(fake_run("baseline", 3600.0, misses=20, data=200.0),),
+    )
+    return ReportInputs(fig2=fig2, fig3=fig3, fig4=fig4, tables=tables)
+
+
+class TestSvg:
+    def test_bars_scale_to_max(self):
+        svg = _svg_grouped_bars(
+            [("g", 50.0, 100.0)], ("a", "b"), unit="s", width=860
+        )
+        assert svg.startswith("<svg")
+        assert svg.count("<rect") == 2
+        # The larger value fills the chart area (860 - 200 - 90 = 570).
+        assert 'width="570.0"' in svg
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            _svg_grouped_bars([], ("a", "b"), unit="s")
+
+    def test_labels_escaped(self):
+        svg = _svg_grouped_bars([("<evil>", 1.0, 2.0)], ("a", "b"), unit="s")
+        assert "<evil>" not in svg
+        assert "&lt;evil&gt;" in svg
+
+
+class TestTable:
+    def test_cells_escaped(self):
+        table = _table(["h"], [["<script>"]])
+        assert "<script>" not in table
+        assert "&lt;script&gt;" in table
+
+
+class TestBuildReport:
+    def test_contains_all_sections(self):
+        report = build_report(fake_inputs())
+        for marker in (
+            "<!DOCTYPE html>",
+            "Figure 2",
+            "Figure 3",
+            "Figure 4",
+            "Tables 1–3",
+            "<svg",
+            "4.20x",
+        ):
+            assert marker in report, marker
+
+    def test_numbers_flow_through(self):
+        report = build_report(fake_inputs())
+        assert "6.00x" in report  # G1 spark slowdown 600/100
+        assert "+50.0%" in report  # fig3 speedup for 80%_large
+
+    def test_report_is_self_contained(self):
+        report = build_report(fake_inputs())
+        assert "http://" not in report.replace("http://www.w3.org", "")
+        assert "src=" not in report  # no external resources

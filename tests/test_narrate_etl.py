@@ -1,0 +1,100 @@
+"""Tests for trace narration and the ETL example's pipeline shape."""
+
+import pytest
+
+from conftest import make_profile, make_spec
+from repro.engine.runtime import EngineConfig, WorkflowRuntime
+from repro.metrics.analysis import narrate
+from repro.metrics.trace import Trace
+from repro.schedulers.registry import make_scheduler
+from repro.workload.job import Job, JobArrival, JobStream
+from repro.workload.msr import TASK_ANALYZER
+
+
+class TestNarrate:
+    def build_trace(self):
+        trace = Trace()
+        trace.record(0.0, "submitted", "j1")
+        trace.record(0.1, "announced", "j1")
+        trace.record(0.2, "bid", "j1", "w1", 5.25)
+        trace.record(1.0, "contest_closed", "j1", "w1", "full")
+        trace.record(1.0, "assigned", "j1", "w1")
+        trace.record(1.1, "started", "j1", "w1")
+        trace.record(5.0, "completed", "j1", "w1")
+        return trace
+
+    def test_full_story(self):
+        text = narrate(self.build_trace())
+        assert "bidding contest opened for j1" in text
+        assert "w1 bid 5.25s on j1" in text
+        assert "w1 completed j1" in text
+
+    def test_job_filter(self):
+        trace = self.build_trace()
+        trace.record(6.0, "submitted", "j2")
+        text = narrate(trace, job_id="j1")
+        assert "j2" not in text
+
+    def test_limit_notice(self):
+        trace = self.build_trace()
+        text = narrate(trace, limit=2)
+        assert "more events" in text
+
+    def test_timestamps_formatted(self):
+        text = narrate(self.build_trace())
+        assert text.startswith("[     0.000s]")
+
+    def test_narrate_real_run(self):
+        stream = JobStream(
+            arrivals=[
+                JobArrival(
+                    at=0.0,
+                    job=Job(job_id="only", task=TASK_ANALYZER, repo_id="r", size_mb=10.0),
+                )
+            ]
+        )
+        runtime = WorkflowRuntime(
+            profile=make_profile(make_spec("w1"), make_spec("w2")),
+            stream=stream,
+            scheduler=make_scheduler("bidding"),
+            config=EngineConfig(seed=0, trace=True),
+        )
+        runtime.run()
+        story = narrate(runtime.metrics.trace, job_id="only")
+        assert "submitted" in story
+        assert "completed only" in story
+
+
+class TestETLExampleShape:
+    def test_pipeline_produces_identical_stats_under_all_schedulers(self):
+        import importlib.util
+        from pathlib import Path
+
+        spec = importlib.util.spec_from_file_location(
+            "etl_pipeline", Path(__file__).parent.parent / "examples" / "etl_pipeline.py"
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+
+        shard_sizes, stream = module.build_workload()
+        outputs = []
+        from repro.cluster.profiles import all_equal
+
+        for scheduler in ("round-robin", "bidding"):
+            stats = {}
+            runtime = WorkflowRuntime(
+                profile=all_equal(),
+                stream=stream,
+                scheduler=make_scheduler(scheduler),
+                pipeline=module.build_pipeline(stats),
+                config=EngineConfig(seed=77),
+            )
+            runtime.run()
+            outputs.append(stats)
+        # Aggregated MB sums in completion order, which differs per
+        # scheduler -- equal up to float summation order.
+        assert outputs[0].keys() == outputs[1].keys()
+        for pass_index in outputs[0]:
+            a, b = outputs[0][pass_index], outputs[1][pass_index]
+            assert a["shards"] == b["shards"] == module.N_SHARDS
+            assert a["mb"] == pytest.approx(b["mb"])

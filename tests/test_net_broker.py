@@ -1,0 +1,158 @@
+"""Unit tests for the pub/sub broker and topology."""
+
+import numpy as np
+import pytest
+
+from repro.net.broker import Broker
+from repro.net.topology import Topology, TopologyConfig
+from repro.sim import Simulator
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+class TestBroker:
+    def test_publish_reaches_all_subscribers(self, sim):
+        broker = Broker(sim)
+        subs = [broker.subscribe("jobs", f"w{i}") for i in range(3)]
+        count = broker.publish("jobs", {"id": 1})
+        sim.run()
+        assert count == 3
+        assert all(len(sub.queue) == 1 for sub in subs)
+
+    def test_publish_to_empty_topic(self, sim):
+        broker = Broker(sim)
+        assert broker.publish("nobody", "msg") == 0
+
+    def test_delivery_latency(self, sim):
+        broker = Broker(sim, base_latency=0.1)
+        sub = broker.subscribe("t", "w", latency=0.4)
+        arrival = []
+
+        def consumer(sim, sub):
+            msg = yield sub.get()
+            arrival.append((sim.now, msg))
+
+        sim.process(consumer(sim, sub))
+        broker.publish("t", "hello")
+        sim.run()
+        assert arrival == [(pytest.approx(0.5), "hello")]
+
+    def test_per_subscriber_latency_differs(self, sim):
+        broker = Broker(sim)
+        near = broker.subscribe("t", "near", latency=0.01)
+        far = broker.subscribe("t", "far", latency=0.30)
+        arrivals = {}
+
+        def consumer(sim, sub, name):
+            yield sub.get()
+            arrivals[name] = sim.now
+
+        sim.process(consumer(sim, near, "near"))
+        sim.process(consumer(sim, far, "far"))
+        broker.publish("t", "x")
+        sim.run()
+        assert arrivals["near"] < arrivals["far"]
+
+    def test_fifo_per_subscriber(self, sim):
+        broker = Broker(sim)
+        sub = broker.subscribe("t", "w", latency=0.05)
+        received = []
+
+        def consumer(sim, sub):
+            for _ in range(5):
+                msg = yield sub.get()
+                received.append(msg)
+
+        sim.process(consumer(sim, sub))
+        for index in range(5):
+            broker.publish("t", index)
+        sim.run()
+        assert received == [0, 1, 2, 3, 4]
+
+    def test_exclude_subscriber(self, sim):
+        broker = Broker(sim)
+        a = broker.subscribe("t", "a")
+        b = broker.subscribe("t", "b")
+        broker.publish("t", "msg", exclude=a)
+        sim.run()
+        assert len(a.queue) == 0
+        assert len(b.queue) == 1
+
+    def test_unsubscribe_stops_delivery(self, sim):
+        broker = Broker(sim)
+        sub = broker.subscribe("t", "w")
+        broker.unsubscribe(sub)
+        broker.publish("t", "msg")
+        sim.run()
+        assert len(sub.queue) == 0
+
+    def test_send_point_to_point(self, sim):
+        broker = Broker(sim)
+        a = broker.subscribe("t", "a")
+        b = broker.subscribe("t", "b")
+        broker.send(a, "direct")
+        sim.run()
+        assert len(a.queue) == 1
+        assert len(b.queue) == 0
+
+    def test_delivered_counter(self, sim):
+        broker = Broker(sim)
+        sub = broker.subscribe("t", "w")
+        broker.publish("t", 1)
+        broker.publish("t", 2)
+        sim.run()
+        assert sub.delivered == 2
+        assert broker.published == 2
+
+    def test_negative_latency_rejected(self, sim):
+        broker = Broker(sim)
+        with pytest.raises(ValueError):
+            broker.subscribe("t", "w", latency=-0.1)
+        with pytest.raises(ValueError):
+            Broker(sim, base_latency=-1.0)
+
+
+class TestTopology:
+    def test_build_places_all_nodes(self, sim):
+        topology = Topology.build(
+            sim, ["a", "b", "c"], TopologyConfig(), rng=np.random.default_rng(0)
+        )
+        for name in ("a", "b", "c"):
+            latency = topology.latency_of(name)
+            assert 0.005 <= latency <= 0.060
+
+    def test_unknown_node_raises(self, sim):
+        topology = Topology.build(sim, ["a"], rng=np.random.default_rng(0))
+        with pytest.raises(KeyError):
+            topology.latency_of("ghost")
+
+    def test_pair_latency_is_two_legs(self, sim):
+        topology = Topology.build(sim, [], TopologyConfig(broker_processing=0.002))
+        topology.add_node("x", 0.01)
+        topology.add_node("y", 0.03)
+        assert topology.pair_latency("x", "y") == pytest.approx(0.042)
+
+    def test_subscribe_uses_placed_latency(self, sim):
+        topology = Topology.build(sim, [], TopologyConfig(broker_processing=0.0))
+        topology.add_node("w", 0.25)
+        sub = topology.subscribe("jobs", "w")
+        assert sub.latency == 0.25
+
+    def test_add_node_validates(self, sim):
+        topology = Topology.build(sim, [])
+        with pytest.raises(ValueError):
+            topology.add_node("w", -0.5)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TopologyConfig(min_latency=0.5, max_latency=0.1)
+        with pytest.raises(ValueError):
+            TopologyConfig(broker_processing=-0.1)
+
+    def test_placement_deterministic_per_rng(self, sim):
+        a = Topology.build(sim, ["x", "y"], rng=np.random.default_rng(5))
+        b = Topology.build(sim, ["x", "y"], rng=np.random.default_rng(5))
+        assert a.node_latency == b.node_latency

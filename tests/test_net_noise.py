@@ -1,0 +1,121 @@
+"""Unit tests for the speed-noise models."""
+
+import numpy as np
+import pytest
+
+from repro.net.noise import (
+    LogNormalNoise,
+    NoNoise,
+    OrnsteinUhlenbeckNoise,
+    UniformNoise,
+    make_noise,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(123)
+
+
+class TestNoNoise:
+    def test_always_one(self, rng):
+        model = NoNoise()
+        assert all(model.factor(rng, float(t)) == 1.0 for t in range(10))
+
+
+class TestUniformNoise:
+    def test_within_bounds(self, rng):
+        model = UniformNoise(amplitude=0.3)
+        factors = [model.factor(rng, 0.0) for _ in range(1000)]
+        assert all(0.7 <= f <= 1.3 for f in factors)
+
+    def test_mean_close_to_one(self, rng):
+        model = UniformNoise(amplitude=0.3)
+        factors = [model.factor(rng, 0.0) for _ in range(5000)]
+        assert abs(np.mean(factors) - 1.0) < 0.02
+
+    def test_zero_amplitude_is_deterministic(self, rng):
+        model = UniformNoise(amplitude=0.0)
+        assert model.factor(rng, 0.0) == 1.0
+
+    @pytest.mark.parametrize("amplitude", [-0.1, 1.0, 2.0])
+    def test_invalid_amplitude_rejected(self, amplitude):
+        with pytest.raises(ValueError):
+            UniformNoise(amplitude=amplitude)
+
+
+class TestLogNormalNoise:
+    def test_always_positive(self, rng):
+        model = LogNormalNoise(sigma=1.0)
+        assert all(model.factor(rng, 0.0) > 0 for _ in range(1000))
+
+    def test_mean_close_to_one(self, rng):
+        model = LogNormalNoise(sigma=0.25)
+        factors = [model.factor(rng, 0.0) for _ in range(20000)]
+        assert abs(np.mean(factors) - 1.0) < 0.02
+
+    def test_zero_sigma_deterministic(self, rng):
+        model = LogNormalNoise(sigma=0.0)
+        assert model.factor(rng, 0.0) == 1.0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            LogNormalNoise(sigma=-0.5)
+
+    def test_larger_sigma_larger_spread(self, rng):
+        narrow = [LogNormalNoise(0.1).factor(rng, 0.0) for _ in range(2000)]
+        wide = [LogNormalNoise(0.8).factor(rng, 0.0) for _ in range(2000)]
+        assert np.std(wide) > np.std(narrow)
+
+
+class TestOrnsteinUhlenbeckNoise:
+    def test_time_correlation(self, rng):
+        """Samples close in time correlate more than distant samples."""
+        model = OrnsteinUhlenbeckNoise(sigma=0.5, tau=100.0)
+        first = model.factor(rng, 0.0)
+        nearby = model.factor(rng, 0.001)
+        assert abs(np.log(nearby) - np.log(first)) < 0.1
+
+    def test_mean_reverts_over_long_gaps(self, rng):
+        """After many correlation times, samples decorrelate."""
+        model = OrnsteinUhlenbeckNoise(sigma=0.5, tau=1.0)
+        draws = [model.factor(rng, t * 100.0) for t in range(2000)]
+        # Long-gap samples follow the stationary law with mean ~1.
+        assert abs(np.mean(draws) - 1.0) < 0.1
+
+    def test_always_positive(self, rng):
+        model = OrnsteinUhlenbeckNoise(sigma=1.0, tau=10.0)
+        assert all(model.factor(rng, float(t)) > 0 for t in range(500))
+
+    def test_invalid_params_rejected(self):
+        with pytest.raises(ValueError):
+            OrnsteinUhlenbeckNoise(sigma=-1.0, tau=1.0)
+        with pytest.raises(ValueError):
+            OrnsteinUhlenbeckNoise(sigma=1.0, tau=0.0)
+
+    def test_backwards_time_tolerated(self, rng):
+        model = OrnsteinUhlenbeckNoise(sigma=0.3, tau=5.0)
+        model.factor(rng, 10.0)
+        assert model.factor(rng, 5.0) > 0  # clamped dt, no crash
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "kind,cls",
+        [
+            ("none", NoNoise),
+            ("uniform", UniformNoise),
+            ("lognormal", LogNormalNoise),
+            ("ou", OrnsteinUhlenbeckNoise),
+        ],
+    )
+    def test_known_kinds(self, kind, cls):
+        assert isinstance(make_noise(kind), cls)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown noise kind"):
+            make_noise("bogus")
+
+    def test_params_forwarded(self):
+        model = make_noise("lognormal", sigma=0.7)
+        assert model.sigma == 0.7

@@ -1,0 +1,58 @@
+"""Tests for the scale/parameter sensitivity sweeps (future-work S1-S4)."""
+
+import pytest
+
+from repro.experiments.sensitivity import (
+    SweepPoint,
+    render,
+    sweep_arrival_rate,
+    sweep_heterogeneity,
+    sweep_job_count,
+    sweep_worker_count,
+)
+
+
+class TestSweepPoint:
+    def test_speedup(self):
+        point = SweepPoint("x", bidding_time_s=50.0, baseline_time_s=100.0,
+                           bidding_data_mb=1.0, baseline_data_mb=2.0)
+        assert point.speedup == pytest.approx(2.0)
+
+
+class TestWorkerCountSweep:
+    def test_more_workers_shorter_makespans(self):
+        points = sweep_worker_count(counts=(5, 15))
+        assert points[1].bidding_time_s < points[0].bidding_time_s
+        assert points[1].baseline_time_s < points[0].baseline_time_s
+
+    def test_bidding_wins_at_every_scale(self):
+        for point in sweep_worker_count(counts=(5, 15)):
+            assert point.speedup > 1.0, point.setting
+
+
+class TestJobCountSweep:
+    def test_more_jobs_longer_makespans(self):
+        points = sweep_job_count(counts=(60, 240))
+        assert points[1].bidding_time_s > points[0].bidding_time_s
+
+    def test_advantage_persists_with_scale(self):
+        points = sweep_job_count(counts=(60, 240))
+        assert all(point.speedup > 1.0 for point in points)
+
+
+class TestHeterogeneitySweep:
+    def test_larger_spread_larger_advantage(self):
+        points = sweep_heterogeneity(factors=(1.0, 8.0))
+        assert points[1].speedup > points[0].speedup
+
+
+class TestArrivalRateSweep:
+    def test_sparse_arrivals_erode_advantage(self):
+        points = sweep_arrival_rate(interarrivals=(0.0, 10.0))
+        burst, sparse = points
+        assert burst.speedup > sparse.speedup
+
+    def test_render_includes_all_settings(self):
+        points = sweep_arrival_rate(interarrivals=(0.0, 4.0))
+        text = render("S4", points)
+        assert "burst" in text and "gap=4s" in text

@@ -1,0 +1,111 @@
+"""Unit tests for the Section 6.3.1 job configurations."""
+
+import pytest
+
+from repro.data.sizes import band_of
+from repro.workload.generators import (
+    JOB_CONFIG_BUILDERS,
+    JOBS_PER_CONFIG,
+    all_diff_equal,
+    eighty_pct_large,
+    eighty_pct_small,
+    job_config_by_name,
+)
+
+
+class TestRegistry:
+    @pytest.mark.parametrize("name", sorted(JOB_CONFIG_BUILDERS))
+    def test_all_configs_build(self, name):
+        corpus, stream = job_config_by_name(name).build(seed=1)
+        assert len(stream) == JOBS_PER_CONFIG
+        assert len(corpus) >= 1
+
+    def test_unknown_config_rejected(self):
+        with pytest.raises(KeyError, match="valid:"):
+            job_config_by_name("80%_medium")
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", sorted(JOB_CONFIG_BUILDERS))
+    def test_same_seed_same_workload(self, name):
+        _c1, s1 = job_config_by_name(name).build(seed=42)
+        _c2, s2 = job_config_by_name(name).build(seed=42)
+        assert [(a.at, a.job.job_id, a.job.size_mb) for a in s1] == [
+            (a.at, a.job.job_id, a.job.size_mb) for a in s2
+        ]
+
+    def test_different_seed_different_sizes(self):
+        _c1, s1 = all_diff_equal().build(seed=1)
+        _c2, s2 = all_diff_equal().build(seed=2)
+        assert [a.job.size_mb for a in s1] != [a.job.size_mb for a in s2]
+
+
+class TestAllDifferent:
+    @pytest.mark.parametrize(
+        "name", ["all_diff_equal", "all_diff_large", "all_diff_small", "all_small_strict"]
+    )
+    def test_every_job_distinct_repo(self, name):
+        _corpus, stream = job_config_by_name(name).build(seed=3)
+        repos = [a.job.repo_id for a in stream]
+        assert len(set(repos)) == len(repos)
+
+    def test_equal_mix_has_all_bands(self):
+        _corpus, stream = all_diff_equal().build(seed=4)
+        bands = {band_of(a.job.size_mb).name for a in stream}
+        assert bands == {"small", "medium", "large"}
+
+    def test_large_config_mostly_large(self):
+        _corpus, stream = job_config_by_name("all_diff_large").build(seed=5)
+        shares = [band_of(a.job.size_mb).name for a in stream]
+        assert shares.count("large") / len(shares) > 0.65
+
+    def test_small_config_mostly_small(self):
+        _corpus, stream = job_config_by_name("all_diff_small").build(seed=5)
+        shares = [band_of(a.job.size_mb).name for a in stream]
+        assert shares.count("small") / len(shares) > 0.65
+
+    def test_strict_small_is_pure(self):
+        _corpus, stream = job_config_by_name("all_small_strict").build(seed=6)
+        assert all(band_of(a.job.size_mb).name == "small" for a in stream)
+
+
+class TestRepetitive:
+    def test_80_large_shares_one_large_repo(self):
+        _corpus, stream = eighty_pct_large().build(seed=7)
+        large_jobs = [a.job for a in stream if band_of(a.job.size_mb).name == "large"]
+        shared = [job for job in large_jobs if job.repo_id.endswith("-shared")]
+        share = len(shared) / len(large_jobs)
+        assert 0.70 <= share <= 0.90
+        # All shared jobs reference the same repository and size.
+        assert len({job.repo_id for job in shared}) == 1
+        assert len({job.size_mb for job in shared}) == 1
+
+    def test_80_small_shares_one_small_repo(self):
+        _corpus, stream = eighty_pct_small().build(seed=8)
+        small_jobs = [a.job for a in stream if band_of(a.job.size_mb).name == "small"]
+        shared = [job for job in small_jobs if job.repo_id.endswith("-shared")]
+        assert 0.70 <= len(shared) / len(small_jobs) <= 0.90
+
+    def test_non_dominant_band_not_repetitive(self):
+        _corpus, stream = eighty_pct_large().build(seed=9)
+        non_large = [a.job for a in stream if band_of(a.job.size_mb).name != "large"]
+        repos = [job.repo_id for job in non_large]
+        assert len(set(repos)) == len(repos)
+
+    def test_corpus_contains_every_referenced_repo(self):
+        corpus, stream = eighty_pct_large().build(seed=10)
+        for arrival in stream:
+            assert arrival.job.repo_id in corpus
+            assert corpus.get(arrival.job.repo_id).size_mb == arrival.job.size_mb
+
+
+class TestArrivals:
+    def test_jobs_arrive_over_time(self):
+        _corpus, stream = all_diff_equal().build(seed=11)
+        times = [a.at for a in stream]
+        assert times[-1] > 0.0
+        assert times == sorted(times)
+
+    def test_all_jobs_target_analyzer(self):
+        _corpus, stream = all_diff_equal().build(seed=12)
+        assert all(a.job.task == "RepositoryAnalyzer" for a in stream)

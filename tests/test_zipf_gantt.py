@@ -1,0 +1,98 @@
+"""Tests for the Zipf workload extension and the ASCII Gantt renderer."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.analysis import ascii_gantt
+from repro.metrics.trace import Trace
+from repro.workload.generators import ZipfJobConfig, job_config_by_name, zipf_workload
+
+
+class TestZipfWorkload:
+    def test_registry_entry(self):
+        config = job_config_by_name("zipf")
+        corpus, stream = config.build(seed=1)
+        assert len(stream) == 120
+        assert len(corpus) == config.n_repos
+
+    def test_jobs_reference_pool_repos(self):
+        corpus, stream = zipf_workload(alpha=1.0).build(seed=2)
+        for arrival in stream:
+            assert arrival.job.repo_id in corpus
+
+    def test_uniform_alpha_spreads_references(self):
+        _corpus, stream = zipf_workload(alpha=0.0).build(seed=3)
+        repos = [a.job.repo_id for a in stream]
+        counts = {repo: repos.count(repo) for repo in set(repos)}
+        assert max(counts.values()) <= 12  # no single hot repo at alpha=0
+
+    def test_high_alpha_concentrates_references(self):
+        _corpus, stream = zipf_workload(alpha=2.5).build(seed=3)
+        repos = [a.job.repo_id for a in stream]
+        counts = sorted(
+            (repos.count(repo) for repo in set(repos)), reverse=True
+        )
+        assert counts[0] > 40  # the rank-1 repo dominates
+
+    def test_higher_alpha_fewer_distinct(self):
+        def distinct(alpha):
+            _c, stream = zipf_workload(alpha=alpha).build(seed=4)
+            return len({a.job.repo_id for a in stream})
+
+        assert distinct(2.0) < distinct(0.0)
+
+    def test_deterministic(self):
+        a = zipf_workload(alpha=1.0).build(seed=5)[1]
+        b = zipf_workload(alpha=1.0).build(seed=5)[1]
+        assert [x.job.repo_id for x in a] == [x.job.repo_id for x in b]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZipfJobConfig(alpha=-0.1)
+        with pytest.raises(ValueError):
+            ZipfJobConfig(alpha=1.0, n_repos=0)
+
+    def test_sizes_consistent_per_repo(self):
+        corpus, stream = zipf_workload(alpha=1.5).build(seed=6)
+        for arrival in stream:
+            assert arrival.job.size_mb == corpus.get(arrival.job.repo_id).size_mb
+
+
+class TestAsciiGantt:
+    def build_trace(self):
+        trace = Trace()
+        trace.record(0.0, "started", "j1", "w1")
+        trace.record(50.0, "completed", "j1", "w1")
+        trace.record(0.0, "started", "j2", "w2")
+        trace.record(100.0, "completed", "j2", "w2")
+        return trace
+
+    def test_rows_per_worker(self):
+        chart = ascii_gantt(self.build_trace(), makespan=100.0, width=20)
+        lines = chart.splitlines()
+        assert len(lines) == 3  # two workers + axis
+        assert lines[0].lstrip().startswith("w1")
+
+    def test_busy_fraction_visible(self):
+        chart = ascii_gantt(self.build_trace(), makespan=100.0, width=20)
+        w1_row, w2_row, _axis = chart.splitlines()
+        assert w1_row.count("#") < w2_row.count("#")
+        assert w2_row.count("#") == 20
+
+    def test_axis_shows_makespan(self):
+        chart = ascii_gantt(self.build_trace(), makespan=100.0, width=20)
+        assert "100s" in chart
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ascii_gantt(self.build_trace(), makespan=0.0)
+        with pytest.raises(ValueError):
+            ascii_gantt(self.build_trace(), makespan=10.0, width=5)
+
+    def test_max_workers_cap(self):
+        trace = Trace()
+        for index in range(15):
+            trace.record(0.0, "started", f"j{index}", f"w{index:02d}")
+            trace.record(1.0, "completed", f"j{index}", f"w{index:02d}")
+        chart = ascii_gantt(trace, makespan=1.0, max_workers=5)
+        assert len(chart.splitlines()) == 6  # 5 workers + axis
