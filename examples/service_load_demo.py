@@ -1,0 +1,100 @@
+"""Open-loop load sweep: where is each scheduler's p99 knee?
+
+Runs the service layer (:mod:`repro.serve`) under Poisson arrivals at
+ramping rates and compares the Bidding Scheduler against the Crossflow
+Baseline on tail latency and shed rate.  Open-loop behaviour is
+textbook: below the cluster's service capacity p99 stays flat, and past
+it the admission queue saturates, latency climbs to the queue-drain
+bound and the controller starts shedding -- the *knee*.  Locality-aware
+allocation moves the knee right: fewer redundant downloads mean more
+capacity from the same five workers.
+
+Run with::
+
+    python examples/service_load_demo.py
+"""
+
+from repro.cluster.profiles import all_equal
+from repro.engine.runtime import EngineConfig
+from repro.metrics.ascii_chart import grouped_bar_chart
+from repro.metrics.report import format_table
+from repro.schedulers.registry import make_scheduler
+from repro.serve import (
+    AdmissionConfig,
+    PoissonArrivals,
+    ServiceConfig,
+    ServiceRuntime,
+)
+
+RATES = [0.25, 0.5, 1.0, 1.5, 2.0]
+DURATION_S = 300.0
+SEED = 23
+
+
+def run_one(scheduler: str, rate: float):
+    runtime = ServiceRuntime(
+        profile=all_equal(),
+        scheduler=make_scheduler(scheduler),
+        arrivals=PoissonArrivals(rate=rate),
+        admission_config=AdmissionConfig(queue_cap=64),
+        service_config=ServiceConfig(duration_s=DURATION_S),
+        config=EngineConfig(seed=SEED, trace=False),
+    )
+    return runtime.run()
+
+
+def main() -> None:
+    reports = {
+        (scheduler, rate): run_one(scheduler, rate)
+        for scheduler in ("baseline", "bidding")
+        for rate in RATES
+    }
+    rows = []
+    for rate in RATES:
+        for scheduler in ("baseline", "bidding"):
+            report = reports[(scheduler, rate)]
+            rows.append(
+                [
+                    f"{rate:.2f}",
+                    scheduler,
+                    f"{report.latency_p50_s:.1f}",
+                    f"{report.latency_p99_s:.1f}",
+                    f"{report.shed_rate:.1%}",
+                    f"{report.throughput_jobs_per_s:.2f}",
+                ]
+            )
+    print(
+        format_table(
+            ["rate [/s]", "scheduler", "p50 [s]", "p99 [s]", "shed", "tput [/s]"],
+            rows,
+            title=f"Poisson load ramp, {DURATION_S:.0f}s windows, 5 workers (seed {SEED})",
+        )
+    )
+    print()
+    print(
+        grouped_bar_chart(
+            [
+                (
+                    f"{rate:.2f}/s",
+                    [
+                        (scheduler, reports[(scheduler, rate)].latency_p99_s)
+                        for scheduler in ("baseline", "bidding")
+                    ],
+                )
+                for rate in RATES
+            ],
+            title="p99 latency vs offered load (the knee)",
+            unit="s",
+        )
+    )
+    print(
+        "\nReading the knee: both schedulers ride flat while arrivals fit the\n"
+        "cluster's service rate; past saturation the bounded queue pins p99 at\n"
+        "its drain time and overload spills into the shed column instead.\n"
+        "Bidding's locality keeps per-job service time lower, so its curve\n"
+        "bends later and it sheds less at every overloaded rate."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -10,6 +10,8 @@ Subcommands map one-to-one onto the experiment modules::
     repro all                  # everything above, in order
     repro run --scheduler bidding --workload 80%_large --profile one-slow
                                # a single cell, printed per iteration
+    repro serve --scheduler bidding --arrival poisson --rate 2.0 --duration 600
+                               # open-loop service run with SLO summary
 
 ``--parallel N`` fans independent simulation cells across N processes
 where the experiment supports it.
@@ -76,6 +78,39 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cold", action="store_true", help="do not persist caches across iterations")
     run.add_argument("--save-json", metavar="PATH", help="persist per-iteration results as JSON")
     run.add_argument("--save-csv", metavar="PATH", help="persist per-iteration results as CSV")
+
+    serve = sub.add_parser(
+        "serve", help="open-loop service run: arrivals, admission, SLO summary"
+    )
+    serve.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="bidding")
+    serve.add_argument("--profile", choices=sorted(PROFILE_NAMES), default="all-equal")
+    serve.add_argument(
+        "--arrival", choices=["poisson", "diurnal", "burst"], default="poisson"
+    )
+    serve.add_argument("--rate", type=float, default=2.0, help="mean arrivals per second")
+    serve.add_argument(
+        "--duration", type=float, default=600.0, help="arrival window (simulated s)"
+    )
+    serve.add_argument("--seed", type=int, default=11)
+    serve.add_argument("--queue-cap", type=int, default=64, help="admission queue bound")
+    serve.add_argument(
+        "--admission",
+        choices=["reject", "delay"],
+        default="reject",
+        help="overload response: shed arrivals or backpressure them",
+    )
+    serve.add_argument(
+        "--rate-limit", type=float, default=None, help="token-bucket cap (jobs/s)"
+    )
+    serve.add_argument(
+        "--deadline", type=float, default=None, help="per-job latency SLO (s)"
+    )
+    serve.add_argument(
+        "--autoscale", action="store_true", help="enable the elastic worker pool"
+    )
+    serve.add_argument("--min-workers", type=int, default=2)
+    serve.add_argument("--max-workers", type=int, default=10)
+    serve.add_argument("--save-json", metavar="PATH", help="persist the report as JSON")
     return parser
 
 
@@ -119,6 +154,86 @@ def _run_single(args: argparse.Namespace) -> None:
     )
 
 
+def _run_serve(args: argparse.Namespace) -> None:
+    from repro.cluster.profiles import profile_by_name
+    from repro.engine.runtime import EngineConfig
+    from repro.metrics.ascii_chart import bar_chart
+    from repro.serve import (
+        AdmissionConfig,
+        AutoscalerConfig,
+        ServiceConfig,
+        ServiceRuntime,
+        make_arrivals,
+    )
+
+    runtime = ServiceRuntime(
+        profile=profile_by_name(args.profile),
+        scheduler=SCHEDULERS[args.scheduler](),
+        arrivals=make_arrivals(args.arrival, rate=args.rate),
+        admission_config=AdmissionConfig(
+            queue_cap=args.queue_cap,
+            policy=args.admission,
+            rate_limit=args.rate_limit,
+        ),
+        autoscaler_config=(
+            AutoscalerConfig(min_workers=args.min_workers, max_workers=args.max_workers)
+            if args.autoscale
+            else None
+        ),
+        service_config=ServiceConfig(duration_s=args.duration, deadline_s=args.deadline),
+        config=EngineConfig(seed=args.seed),
+    )
+    report = runtime.run()
+    if args.save_json:
+        import json
+
+        with open(args.save_json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report written to {args.save_json}")
+    rows = [
+        ["arrivals", str(report.arrivals)],
+        ["admitted", str(report.admitted)],
+        ["completed", str(report.completed)],
+        ["shed", f"{report.shed} ({report.shed_rate:.1%})"],
+        ["throughput [jobs/s]", f"{report.throughput_jobs_per_s:.3f}"],
+        ["latency p50 [s]", f"{report.latency_p50_s:.2f}"],
+        ["latency p95 [s]", f"{report.latency_p95_s:.2f}"],
+        ["latency p99 [s]", f"{report.latency_p99_s:.2f}"],
+        ["latency mean / max [s]", f"{report.latency_mean_s:.2f} / {report.latency_max_s:.2f}"],
+        ["queue peak", str(report.queue_peak)],
+        ["workers initial/peak/final", f"{report.workers_initial}/{report.workers_peak}/{report.workers_final}"],
+        ["scale ups / downs", f"{report.scale_ups} / {report.scale_downs}"],
+        ["cache hits / misses", f"{report.cache_hits} / {report.cache_misses}"],
+        ["data load [MB]", f"{report.data_load_mb:.1f}"],
+    ]
+    if report.deadline_misses or args.deadline is not None:
+        rows.insert(9, ["deadline misses", str(report.deadline_misses)])
+    print(
+        format_table(
+            ["metric", "value"],
+            rows,
+            title=(
+                f"service: {args.scheduler} under {args.arrival} arrivals @ "
+                f"{args.rate}/s for {args.duration:.0f}s (seed {args.seed})"
+            ),
+        )
+    )
+    if report.completed:
+        print()
+        print(
+            bar_chart(
+                [
+                    ("p50", report.latency_p50_s),
+                    ("p95", report.latency_p95_s),
+                    ("p99", report.latency_p99_s),
+                ],
+                title="end-to-end latency",
+                unit="s",
+                fmt="{:.2f}",
+            )
+        )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -152,6 +267,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             runner()
     elif args.command == "run":
         _run_single(args)
+    elif args.command == "serve":
+        _run_serve(args)
     return 0
 
 

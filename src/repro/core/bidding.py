@@ -211,6 +211,12 @@ class BiddingWorkerPolicy(WorkerPolicy):
                 raise RuntimeError(f"unexpected announcement payload {message!r}")
             if not worker.alive:
                 return
+            if worker.draining:
+                # Scale-down: a draining worker abstains.  The contest's
+                # invited set no longer includes it (the master retires
+                # the name before the drain flag is set), so the silence
+                # cannot stall the window-close condition.
+                continue
             if self.bid_compute_s > 0:
                 yield worker.sim.timeout(self.bid_compute_s / worker.spec.cpu_factor)
             estimate = self.estimator.estimate(message.job)

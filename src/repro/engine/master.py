@@ -52,10 +52,15 @@ class Master:
         The master-side allocation strategy; bound here.
     worker_names:
         The fleet the run starts with.  The active set starts full --
-        master and workers boot together in the paper's setup -- and
-        shrinks only on worker failure.
+        master and workers boot together in the paper's setup.  It
+        shrinks on worker failure or on an explicit :meth:`retire_worker`
+        (the service layer's scale-down path) and grows via
+        :meth:`add_worker` (scale-up).
     stream:
-        The source job stream.
+        The source job stream, or ``None`` for *external intake*: jobs
+        are pushed through :meth:`submit` by a driver (the open-loop
+        service runtime), which must call :meth:`finish_intake` once no
+        further submissions will come.
     rng:
         Randomness for policy fallbacks (e.g. the Bidding Scheduler's
         "assign to an arbitrary node" rule).
@@ -71,7 +76,7 @@ class Master:
         pipeline: Pipeline,
         policy: "MasterPolicy",
         worker_names: list[str],
-        stream: JobStream,
+        stream: Optional[JobStream],
         metrics: MetricsCollector,
         rng: Optional[np.random.Generator] = None,
         fault_tolerance: bool = False,
@@ -99,6 +104,10 @@ class Master:
         self.assignments: dict[str, str] = {}
         #: Results of sink jobs (job_id -> JobCompleted) for inspection.
         self.completions: dict[str, JobCompleted] = {}
+        #: Callables ``(job, worker, now)`` invoked on every completion;
+        #: the service layer hooks latency tracking and backpressure
+        #: release here without subclassing the master.
+        self.completion_listeners: list = []
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -106,10 +115,11 @@ class Master:
         """Bind the policy and spawn the master's processes."""
         self.policy.bind(self)
         self.metrics.run_started(self.sim.now)
-        if self.policy.requires_upfront:
+        if self.policy.requires_upfront and self.stream is not None:
             self.policy.on_upfront_jobs(self.stream.jobs)
         self.policy.start()
-        self.sim.process(self._intake(), name="master-intake")
+        if self.stream is not None:
+            self.sim.process(self._intake(), name="master-intake")
         self.sim.process(self._main_loop(), name="master-main")
 
     # -- helpers the policies drive --------------------------------------------
@@ -142,6 +152,36 @@ class Master:
             TOPIC_ANNOUNCE, message, reliable=is_reliable(message)
         )
 
+    # -- fleet membership (service-layer elasticity) -----------------------
+
+    def add_worker(self, name: str) -> None:
+        """Admit a new worker into the fleet (scale-up).
+
+        Must be called *before* the node's :meth:`WorkerNode.start`, so
+        its ``Hello`` finds the name registered.  The policy is notified
+        through :meth:`~repro.schedulers.base.MasterPolicy.on_worker_joined`.
+        """
+        if name in self.worker_names:
+            raise ValueError(f"worker {name!r} already registered")
+        self.worker_names.append(name)
+        self.active_workers.append(name)
+        self.metrics.worker_joined(self.sim.now, name)
+        self.policy.on_worker_joined(name)
+
+    def retire_worker(self, name: str) -> None:
+        """Remove a worker from the *active* set (scale-down drain start).
+
+        The name stays in ``worker_names`` -- jobs the node already holds
+        are still its to finish -- but policies stop routing new work to
+        it.  The policy is notified through
+        :meth:`~repro.schedulers.base.MasterPolicy.on_worker_retired`.
+        """
+        if name not in self.active_workers:
+            raise ValueError(f"worker {name!r} is not active")
+        self.active_workers.remove(name)
+        self.metrics.worker_retired(self.sim.now, name)
+        self.policy.on_worker_retired(name)
+
     def arbitrary_worker(self) -> str:
         """The fallback pick when a policy must choose blindly."""
         if not self.active_workers:
@@ -172,6 +212,16 @@ class Master:
             if delay > 0:
                 yield self.sim.timeout(delay)
             self.submit(arrival.job)
+        self.finish_intake()
+
+    def finish_intake(self) -> None:
+        """Declare that no further source submissions will arrive.
+
+        Stream-driven runs call this from the intake process; external
+        (service) intake calls it once its arrival window has closed and
+        every admitted job has been submitted.  Completion of the last
+        outstanding job then fires :attr:`done`.
+        """
         self.intake_done = True
         self._check_done()
 
@@ -215,6 +265,8 @@ class Master:
         self.metrics.job_completed(self.sim.now, job, worker)
         if message is not None:
             self.completions[job.job_id] = message
+        for listener in self.completion_listeners:
+            listener(job, worker, self.sim.now)
         self._check_done()
 
     def _on_worker_failure(self, message: WorkerFailure) -> None:

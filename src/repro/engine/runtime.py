@@ -11,6 +11,11 @@ methodology depends on ("we cannot see job allocation occurring with
 respect to data storage unless workers have files saved from previous
 executions", Section 6.3.1): pass ``initial_caches`` from a previous
 run's :meth:`WorkflowRuntime.cache_snapshot`.
+
+The *open-loop* sibling -- a long-running service fed by an arrival
+process instead of a fixed stream, with admission control and an
+elastic worker pool -- lives in :class:`repro.serve.ServiceRuntime`;
+both share :func:`build_worker_node` for node wiring.
 """
 
 from __future__ import annotations
@@ -90,6 +95,47 @@ class EngineConfig:
             raise ValueError("shared_origin_mbps must be positive")
 
 
+def build_worker_node(
+    sim: Simulator,
+    topology,
+    spec,
+    scheduler: SchedulerPolicy,
+    metrics: MetricsCollector,
+    pipeline: Pipeline,
+    config: EngineConfig,
+    noise_rng,
+    origin=None,
+    initial_cache: Optional[dict[str, float]] = None,
+) -> WorkerNode:
+    """Wire one worker node (machine + cache + policy) for a run.
+
+    Shared by :class:`WorkflowRuntime` and the service layer's
+    ``ServiceRuntime`` (which also calls it mid-run for elastic
+    scale-up, with a cold ``initial_cache``).
+    """
+    cache = WorkerCache(capacity_mb=spec.cache_capacity_mb)
+    if initial_cache:
+        cache.preload(initial_cache)
+    machine = Machine(
+        sim,
+        spec,
+        network_noise=make_noise(config.noise_kind, **config.noise_params),
+        rw_noise=make_noise(config.noise_kind, **config.noise_params),
+        rng=noise_rng,
+        upstream=origin,
+    )
+    return WorkerNode(
+        sim=sim,
+        topology=topology,
+        machine=machine,
+        cache=cache,
+        policy=scheduler.make_worker(),
+        metrics=metrics,
+        pipeline=pipeline,
+        prefetch=config.prefetch,
+    )
+
+
 def single_task_pipeline() -> Pipeline:
     """The trivial pipeline used by the Section 6.3 controlled runs:
     a lone ``RepositoryAnalyzer`` consuming analysis jobs, no children."""
@@ -155,28 +201,18 @@ class WorkflowRuntime:
 
         self.workers: dict[str, WorkerNode] = {}
         for spec in profile.specs:
-            cache = WorkerCache(capacity_mb=spec.cache_capacity_mb)
-            if initial_caches and spec.name in initial_caches:
-                cache.preload(initial_caches[spec.name])
-            machine = Machine(
+            self.workers[spec.name] = build_worker_node(
                 self.sim,
+                self.topology,
                 spec,
-                network_noise=make_noise(self.config.noise_kind, **self.config.noise_params),
-                rw_noise=make_noise(self.config.noise_kind, **self.config.noise_params),
-                rng=streams.get("noise", spec.name),
-                upstream=origin,
+                scheduler,
+                self.metrics,
+                self.pipeline,
+                self.config,
+                noise_rng=streams.get("noise", spec.name),
+                origin=origin,
+                initial_cache=(initial_caches or {}).get(spec.name),
             )
-            worker = WorkerNode(
-                sim=self.sim,
-                topology=self.topology,
-                machine=machine,
-                cache=cache,
-                policy=scheduler.make_worker(),
-                metrics=self.metrics,
-                pipeline=self.pipeline,
-                prefetch=self.config.prefetch,
-            )
-            self.workers[spec.name] = worker
 
         master_policy = scheduler.make_master()
         self.master = Master(

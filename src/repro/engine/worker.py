@@ -96,6 +96,10 @@ class WorkerNode:
         #: the worker must not look idle in that window.
         self._outstanding_jobs = 0
         self.alive = True
+        #: Scale-down drain (service layer): a draining worker finishes
+        #: the jobs it already holds but stops competing for new ones --
+        #: policies consult this flag before bidding or pulling.
+        self.draining = False
         self._idle_waiters: list[Event] = []
         self._main_proc = None
         self._exec_proc = None
@@ -332,6 +336,13 @@ class WorkerNode:
         for event in waiters:
             if not event.triggered:
                 event.succeed()
+
+    def begin_drain(self) -> None:
+        """Enter draining mode (scale-down).  Unlike :meth:`kill`, the
+        node stays alive: queued and running jobs complete normally and
+        are reported to the master; only *new* work is refused by the
+        policies.  Idempotent."""
+        self.draining = True
 
     # -- failure injection (extension) ---------------------------------------
 

@@ -53,6 +53,11 @@ class MetricsCollector:
     offers_made: int = 0
     rejections_seen: int = 0
 
+    # Service-layer counters (open-loop runs; zero for workflow runs).
+    jobs_shed: int = 0
+    workers_joined: int = 0
+    workers_retired: int = 0
+
     def worker(self, name: str) -> WorkerMetrics:
         """Get-or-create the counter block for ``name``."""
         block = self.workers.get(name)
@@ -127,6 +132,23 @@ class MetricsCollector:
         if worker is not None:
             self.worker(worker).jobs_completed += 1
         self.trace.record(now, "completed", job.job_id, worker)
+
+    # -- service layer (admission + elasticity) ------------------------------
+
+    def job_shed(self, now: float, job: Job, reason: str) -> None:
+        """Admission control turned the job away (queue full / rate cap)."""
+        self.jobs_shed += 1
+        self.trace.record(now, "shed", job.job_id, reason)
+
+    def worker_joined(self, now: float, worker: str) -> None:
+        """A worker entered the fleet mid-run (scale-up)."""
+        self.workers_joined += 1
+        self.trace.record(now, "worker_joined", "-", worker)
+
+    def worker_retired(self, now: float, worker: str) -> None:
+        """A worker left the active set mid-run (scale-down drain)."""
+        self.workers_retired += 1
+        self.trace.record(now, "worker_retired", "-", worker)
 
     # -- scheduling overhead ---------------------------------------------------
 

@@ -20,6 +20,8 @@ Event kinds
 ``download_started`` / ``download_finished``  clone activity (detail = MB)
 ``cache_hit``   required data was already local
 ``completed``   worker finished the job
+``shed``        admission control turned the job away (detail = reason)
+``worker_joined`` / ``worker_retired``  fleet elasticity (worker = name)
 """
 
 from __future__ import annotations
@@ -43,6 +45,9 @@ EVENT_KINDS = frozenset(
         "download_finished",
         "cache_hit",
         "completed",
+        "shed",
+        "worker_joined",
+        "worker_retired",
     }
 )
 

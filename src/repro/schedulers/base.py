@@ -71,6 +71,17 @@ class MasterPolicy:
     def on_job_completed(self, job: Job, worker: str) -> None:
         """Observe a completion (e.g. to track worker cache contents)."""
 
+    def on_worker_joined(self, worker: str) -> None:
+        """A worker was added to the fleet mid-run (service-layer
+        scale-up).  Default: nothing -- decentralised policies discover
+        new workers through the message protocol; centralized policies
+        that cache the fleet must refresh here."""
+
+    def on_worker_retired(self, worker: str) -> None:
+        """A worker left the *active* set mid-run (scale-down drain).
+        The node is still alive and will finish jobs it already holds,
+        but must receive no new work.  Default: nothing."""
+
     def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
         """Fault-tolerance hook: reallocate orphans.  Default: the paper's
         behaviour -- nothing happens and the workflow hangs; the engine

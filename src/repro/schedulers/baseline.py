@@ -101,6 +101,13 @@ class BaselineMasterPolicy(MasterPolicy):
             return True
         return False
 
+    def on_worker_retired(self, worker: str) -> None:
+        """Scale-down: forget the retiring worker's parked pull so the
+        long-poll can never hand it a job mid-drain."""
+        self.parked_pulls = deque(
+            name for name in self.parked_pulls if name != worker
+        )
+
     def _match(self) -> None:
         """Answer parked pulls while jobs are available."""
         while self.job_queue and self.parked_pulls:
@@ -159,7 +166,7 @@ class BaselineWorkerPolicy(WorkerPolicy):
         while True:
             if not worker.is_idle:
                 yield worker.wait_idle()
-            if not worker.alive:
+            if not worker.alive or worker.draining:
                 return
             worker.send_to_master(PullRequest(worker=worker.name))
             response = yield from self._await_response()
@@ -170,6 +177,12 @@ class BaselineWorkerPolicy(WorkerPolicy):
                 yield worker.sim.timeout(self.heartbeat_s)
                 continue
             job = response.job
+            if worker.draining:
+                # Drain began while this offer was in flight: bounce it
+                # back so an active worker picks it up.
+                self.declined.add(job.job_id)
+                worker.send_to_master(JobReject(job=job, worker=worker.name))
+                return
             if self.accepts(job):
                 worker.send_to_master(JobAccept(job=job, worker=worker.name))
                 worker.enqueue(job, worker._default_estimate(job))

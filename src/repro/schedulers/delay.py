@@ -128,7 +128,7 @@ class DelayWorkerPolicy(WorkerPolicy):
         while True:
             if not worker.is_idle:
                 yield worker.wait_idle()
-            if not worker.alive:
+            if not worker.alive or worker.draining:
                 return
             worker.send_to_master(PullRequest(worker=worker.name))
             response = yield self._responses.get()

@@ -138,7 +138,7 @@ class MatchmakingWorkerPolicy(WorkerPolicy):
         while True:
             if not worker.is_idle:
                 yield worker.wait_idle()
-            if not worker.alive:
+            if not worker.alive or worker.draining:
                 return
             worker.send_to_master(PullRequest(worker=worker.name, attempt=attempt))
             response = yield self._responses.get()

@@ -37,7 +37,18 @@ class RoundRobinMasterPolicy(MasterPolicy):
         self._cycle: Optional[Iterator[str]] = None
 
     def start(self) -> None:
-        self._cycle = cycle(self.master.worker_names)
+        self._rebuild()
+
+    def _rebuild(self) -> None:
+        # ``cycle`` snapshots its iterable, so fleet changes (service-layer
+        # scale-up/down) must rebuild it over the current active set.
+        self._cycle = cycle(list(self.master.active_workers))
+
+    def on_worker_joined(self, worker: str) -> None:
+        self._rebuild()
+
+    def on_worker_retired(self, worker: str) -> None:
+        self._rebuild()
 
     def on_job(self, job: Job) -> None:
         assert self._cycle is not None, "policy not started"

@@ -1,0 +1,134 @@
+"""Elastic worker-pool control with hysteresis.
+
+The autoscaler watches one load signal -- backlog per active worker,
+where backlog counts both jobs pending at admission and jobs already
+inside the scheduler -- and resizes the fleet through the service
+runtime's :meth:`~repro.serve.service.ServiceRuntime.scale_up` /
+:meth:`~repro.serve.service.ServiceRuntime.scale_down` hooks.
+
+Flap protection is threefold, the standard recipe:
+
+* a **gap** between the scale-up and scale-down thresholds (a signal
+  sitting between them changes nothing),
+* a **cooldown** after any action before the next is considered,
+* a **utilization gate** on scale-down: a fleet that is mostly busy is
+  not shrunk even if the queue happens to be empty at the sample
+  instant.
+
+Scale-up workers start *cold* -- empty cache, fresh placement -- so the
+locality cost of elasticity is faithfully modelled: a new worker misses
+on every repository until it has built up its own working set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.serve.service import ServiceRuntime
+
+
+@dataclass(frozen=True)
+class AutoscalerConfig:
+    """Hysteresis thresholds and pool bounds.
+
+    Parameters
+    ----------
+    min_workers / max_workers:
+        Hard bounds on the active pool size.
+    check_interval_s:
+        Sampling period of the control loop.
+    scale_up_backlog:
+        Add a worker when backlog per active worker reaches this.
+    scale_down_backlog:
+        Consider removing a worker when backlog per active worker is at
+        or below this.  Must be strictly below ``scale_up_backlog``.
+    scale_down_utilization:
+        Utilization gate: scale down only if the busy fraction of the
+        active fleet is also at or below this.
+    cooldown_s:
+        Minimum time between consecutive scaling actions.
+    """
+
+    min_workers: int = 1
+    max_workers: int = 10
+    check_interval_s: float = 5.0
+    scale_up_backlog: float = 3.0
+    scale_down_backlog: float = 0.5
+    scale_down_utilization: float = 0.5
+    cooldown_s: float = 60.0
+
+    def __post_init__(self) -> None:
+        if self.min_workers < 1:
+            raise ValueError("min_workers must be at least 1")
+        if self.max_workers < self.min_workers:
+            raise ValueError("max_workers must be >= min_workers")
+        if self.check_interval_s <= 0:
+            raise ValueError("check_interval_s must be positive")
+        if self.scale_down_backlog >= self.scale_up_backlog:
+            raise ValueError(
+                "scale_down_backlog must be below scale_up_backlog (hysteresis gap)"
+            )
+        if not 0 <= self.scale_down_utilization <= 1:
+            raise ValueError("scale_down_utilization must be in [0, 1]")
+        if self.cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+
+
+class Autoscaler:
+    """The control loop; runs as one simulation process."""
+
+    def __init__(self, service: "ServiceRuntime", config: AutoscalerConfig) -> None:
+        self.service = service
+        self.config = config
+        self.scale_ups = 0
+        self.scale_downs = 0
+        self._last_action_at = float("-inf")
+
+    # -- signals -----------------------------------------------------------
+
+    def backlog_per_worker(self) -> float:
+        """(admission depth + jobs inside the scheduler) / active workers."""
+        service = self.service
+        active = len(service.master.active_workers)
+        backlog = service.admission.depth + service.master.outstanding
+        return backlog / max(1, active)
+
+    def busy_fraction(self) -> float:
+        """Fraction of active workers currently executing or holding work."""
+        service = self.service
+        active = service.master.active_workers
+        if not active:
+            return 0.0
+        busy = sum(1 for name in active if not service.workers[name].is_idle)
+        return busy / len(active)
+
+    # -- the loop ----------------------------------------------------------
+
+    def run(self):
+        """The periodic control process (spawned by the service runtime)."""
+        sim = self.service.sim
+        while True:
+            yield sim.timeout(self.config.check_interval_s)
+            if self.service.closed:
+                return
+            self._evaluate(sim.now)
+
+    def _evaluate(self, now: float) -> None:
+        if now - self._last_action_at < self.config.cooldown_s:
+            return
+        active = len(self.service.master.active_workers)
+        signal = self.backlog_per_worker()
+        if signal >= self.config.scale_up_backlog and active < self.config.max_workers:
+            self.service.scale_up()
+            self.scale_ups += 1
+            self._last_action_at = now
+        elif (
+            signal <= self.config.scale_down_backlog
+            and active > self.config.min_workers
+            and self.busy_fraction() <= self.config.scale_down_utilization
+        ):
+            self.service.scale_down()
+            self.scale_downs += 1
+            self._last_action_at = now

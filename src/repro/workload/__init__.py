@@ -25,6 +25,7 @@ from repro.workload.job import Job, JobArrival, JobStream
 from repro.workload.msr import MSRPipelineSpec, build_msr_pipeline
 from repro.workload.pipeline import Channel, Pipeline, Task
 from repro.workload.replay import load_trace, save_trace
+from repro.workload.source import SyntheticJobSource, tenant_of
 
 __all__ = [
     "Channel",
@@ -35,7 +36,9 @@ __all__ = [
     "JobStream",
     "MSRPipelineSpec",
     "Pipeline",
+    "SyntheticJobSource",
     "Task",
+    "tenant_of",
     "all_diff_equal",
     "all_diff_large",
     "all_diff_small",

@@ -1,0 +1,115 @@
+"""Arrival-process tests: statistics, shapes, determinism, registry."""
+
+from itertools import islice
+
+import numpy as np
+import pytest
+
+from repro.serve.arrivals import (
+    ARRIVAL_KINDS,
+    BurstArrivals,
+    DiurnalArrivals,
+    PoissonArrivals,
+    TraceArrivals,
+    make_arrivals,
+)
+
+
+def take(process, n, seed=0):
+    return list(islice(process.times(np.random.default_rng(seed)), n))
+
+
+class TestPoisson:
+    def test_times_are_strictly_increasing(self):
+        times = take(PoissonArrivals(rate=2.0), 500)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_gap_matches_rate(self):
+        times = take(PoissonArrivals(rate=4.0), 20_000)
+        mean_gap = times[-1] / len(times)
+        assert mean_gap == pytest.approx(0.25, rel=0.05)
+
+    def test_deterministic_per_seed(self):
+        process = PoissonArrivals(rate=1.0)
+        assert take(process, 100, seed=7) == take(process, 100, seed=7)
+        assert take(process, 100, seed=7) != take(process, 100, seed=8)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonArrivals(rate=0.0)
+
+
+class TestDiurnal:
+    def test_times_are_strictly_increasing(self):
+        times = take(DiurnalArrivals(rate=2.0, amplitude=0.8), 500)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_intensity_oscillates_around_rate(self):
+        process = DiurnalArrivals(rate=2.0, amplitude=0.5, period_s=100.0)
+        assert process.intensity(25.0) == pytest.approx(3.0)  # peak
+        assert process.intensity(75.0) == pytest.approx(1.0)  # trough
+        assert process.intensity(0.0) == pytest.approx(2.0)
+
+    def test_long_run_rate_matches_mean(self):
+        # Thinning must preserve the *average* rate over whole periods.
+        process = DiurnalArrivals(rate=3.0, amplitude=0.9, period_s=50.0)
+        times = take(process, 30_000)
+        observed = len(times) / times[-1]
+        assert observed == pytest.approx(3.0, rel=0.05)
+
+    def test_amplitude_bounds(self):
+        with pytest.raises(ValueError):
+            DiurnalArrivals(rate=1.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalArrivals(rate=1.0, amplitude=-0.1)
+
+
+class TestBurst:
+    def test_bursts_land_on_schedule(self):
+        process = BurstArrivals(rate=0.5, burst_size=4, burst_every_s=60.0)
+        times = take(process, 400)
+        for k in (60.0, 120.0, 180.0):
+            assert times.count(k) == 4
+
+    def test_merged_in_time_order(self):
+        times = take(BurstArrivals(rate=1.0, burst_size=3, burst_every_s=10.0), 300)
+        assert times == sorted(times)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BurstArrivals(rate=1.0, burst_size=0)
+        with pytest.raises(ValueError):
+            BurstArrivals(rate=1.0, burst_every_s=0.0)
+
+
+class TestTrace:
+    def test_replays_sorted_and_scaled(self):
+        process = TraceArrivals(at=(5.0, 1.0, 3.0), time_scale=2.0)
+        assert take(process, 10) == [2.0, 6.0, 10.0]
+
+    def test_is_finite(self):
+        assert len(take(TraceArrivals(at=(1.0, 2.0)), 100)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceArrivals(at=())
+        with pytest.raises(ValueError):
+            TraceArrivals(at=(-1.0,))
+        with pytest.raises(ValueError):
+            TraceArrivals(at=(1.0,), time_scale=0.0)
+
+
+class TestRegistry:
+    def test_builds_each_kind(self):
+        assert isinstance(make_arrivals("poisson", rate=1.0), PoissonArrivals)
+        assert isinstance(make_arrivals("diurnal", rate=1.0), DiurnalArrivals)
+        assert isinstance(make_arrivals("burst", rate=1.0), BurstArrivals)
+        assert isinstance(make_arrivals("trace", at=(1.0,)), TraceArrivals)
+
+    def test_kind_attribute_matches_registry_key(self):
+        for kind, cls in ARRIVAL_KINDS.items():
+            assert cls.kind == kind
+
+    def test_unknown_kind_lists_choices(self):
+        with pytest.raises(KeyError, match="poisson"):
+            make_arrivals("weibull", rate=1.0)

@@ -1,0 +1,305 @@
+"""Service-runtime invariants: conservation, bounded queue, determinism,
+elasticity and hysteresis."""
+
+import pytest
+
+from repro.cluster.profiles import all_equal
+from repro.engine.runtime import EngineConfig
+from repro.schedulers.registry import make_scheduler
+from repro.serve import (
+    AdmissionConfig,
+    Autoscaler,
+    AutoscalerConfig,
+    PoissonArrivals,
+    ServiceConfig,
+    ServiceRuntime,
+    TraceArrivals,
+)
+from repro.workload.source import SyntheticJobSource
+
+
+def make_service(
+    scheduler="bidding",
+    rate=1.0,
+    duration=60.0,
+    seed=11,
+    queue_cap=16,
+    policy="reject",
+    autoscaler=None,
+    **engine_kwargs,
+) -> ServiceRuntime:
+    return ServiceRuntime(
+        profile=all_equal(),
+        scheduler=make_scheduler(scheduler),
+        arrivals=PoissonArrivals(rate=rate),
+        admission_config=AdmissionConfig(queue_cap=queue_cap, policy=policy),
+        autoscaler_config=autoscaler,
+        service_config=ServiceConfig(duration_s=duration),
+        config=EngineConfig(seed=seed, trace=False, **engine_kwargs),
+    )
+
+
+class TestConservation:
+    @pytest.mark.parametrize("scheduler", ["bidding", "baseline", "round-robin"])
+    def test_every_admitted_job_completes_exactly_once(self, scheduler):
+        runtime = make_service(scheduler=scheduler, rate=1.5, duration=60.0)
+        report = runtime.run()
+        assert report.completed == report.admitted
+        assert report.arrivals == report.admitted + report.shed
+        assert runtime.metrics.jobs_completed == report.completed
+        assert runtime.master.outstanding == 0
+
+    def test_conservation_across_manual_scale_down(self):
+        # Drain two workers mid-run while jobs are in flight; every
+        # admitted job must still complete exactly once.
+        runtime = make_service(rate=1.5, duration=60.0, queue_cap=32)
+
+        def churn():
+            yield runtime.sim.timeout(15.0)
+            runtime.scale_down()
+            yield runtime.sim.timeout(5.0)
+            runtime.scale_down()
+            yield runtime.sim.timeout(20.0)
+            runtime.scale_up()
+
+        runtime.sim.process(churn(), name="churn")
+        report = runtime.run()
+        assert report.completed == report.admitted
+        assert report.workers_final == 4  # 5 - 2 + 1
+        assert runtime.metrics.workers_retired == 2
+        assert runtime.metrics.workers_joined == 1
+
+    def test_drained_worker_receives_no_new_work(self):
+        runtime = make_service(rate=1.5, duration=60.0, queue_cap=32)
+        assigned_late = []
+
+        def watch():
+            yield runtime.sim.timeout(10.0)
+            victim = runtime.scale_down()
+            # Let contests opened before retirement finish closing (the
+            # 1 s bidding window + message latencies) before snapshotting.
+            yield runtime.sim.timeout(3.0)
+            before = set(runtime.master.assignments)
+            yield runtime.sim.timeout(46.0)
+            assigned_late.extend(
+                job_id
+                for job_id, worker in runtime.master.assignments.items()
+                if worker == victim and job_id not in before
+            )
+
+        runtime.sim.process(watch(), name="watch")
+        report = runtime.run()
+        assert report.completed == report.admitted
+        assert assigned_late == []
+
+
+class TestBoundedQueue:
+    def test_queue_peak_respects_cap_under_overload(self):
+        report = make_service(rate=4.0, duration=45.0, queue_cap=8).run()
+        assert report.queue_peak <= 8
+        assert report.shed > 0
+
+    def test_delay_policy_sheds_nothing(self):
+        report = make_service(rate=2.0, duration=45.0, queue_cap=8, policy="delay").run()
+        assert report.shed == 0
+        assert report.completed == report.arrivals
+        assert report.queue_peak <= 8
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_reports(self):
+        first = make_service(rate=1.5, duration=60.0).run().to_dict()
+        second = make_service(rate=1.5, duration=60.0).run().to_dict()
+        assert first == second
+
+    def test_different_seeds_differ(self):
+        first = make_service(seed=1, duration=60.0).run().to_dict()
+        second = make_service(seed=2, duration=60.0).run().to_dict()
+        assert first != second
+
+    def test_deterministic_with_autoscaler(self):
+        config = AutoscalerConfig(
+            min_workers=2, max_workers=10, check_interval_s=5.0, cooldown_s=15.0
+        )
+        first = make_service(rate=2.5, duration=60.0, autoscaler=config).run().to_dict()
+        second = make_service(rate=2.5, duration=60.0, autoscaler=config).run().to_dict()
+        assert first == second
+
+
+class TestElasticity:
+    def test_overload_scales_up_and_conserves(self):
+        config = AutoscalerConfig(
+            min_workers=2, max_workers=10, check_interval_s=5.0, cooldown_s=10.0
+        )
+        runtime = make_service(rate=2.5, duration=90.0, queue_cap=32, autoscaler=config)
+        report = runtime.run()
+        assert report.scale_ups >= 1
+        assert report.workers_peak > report.workers_initial
+        assert report.completed == report.admitted
+
+    def test_scaled_up_worker_starts_cold_and_works(self):
+        runtime = make_service(rate=2.0, duration=60.0, queue_cap=32)
+        names = []
+
+        def grow():
+            yield runtime.sim.timeout(10.0)
+            names.append(runtime.scale_up())
+
+        runtime.sim.process(grow(), name="grow")
+        report = runtime.run()
+        assert report.completed == report.admitted
+        (name,) = names
+        node = runtime.workers[name]
+        # The elastic worker joined cold and earned work afterwards.
+        assert runtime.metrics.workers[name].jobs_completed > 0
+        assert node.cache.stats.misses > 0
+
+    def test_idle_fleet_scales_down_to_min(self):
+        config = AutoscalerConfig(
+            min_workers=2, max_workers=10, check_interval_s=5.0, cooldown_s=5.0
+        )
+        # One early arrival, then a long lull: the pool must drain to
+        # min while the service stays up waiting for the second arrival.
+        runtime = ServiceRuntime(
+            profile=all_equal(),
+            scheduler=make_scheduler("bidding"),
+            arrivals=TraceArrivals(at=(1.0, 100.0)),
+            admission_config=AdmissionConfig(queue_cap=8),
+            autoscaler_config=config,
+            service_config=ServiceConfig(duration_s=120.0),
+            config=EngineConfig(seed=3, trace=False),
+        )
+        report = runtime.run()
+        assert report.completed == report.admitted == 2
+        assert report.workers_final == 2
+        assert report.scale_downs == 3
+
+
+class StubService:
+    """Minimal stand-in exposing exactly what the autoscaler reads."""
+
+    class _Master:
+        def __init__(self, names):
+            self.active_workers = list(names)
+            self.outstanding = 0
+
+    class _Admission:
+        depth = 0
+
+    class _Node:
+        def __init__(self, busy):
+            self.is_idle = not busy
+
+    def __init__(self, workers=4, busy=True):
+        self.master = self._Master([f"w{i}" for i in range(workers)])
+        self.admission = self._Admission()
+        self.workers = {name: self._Node(busy) for name in self.master.active_workers}
+        self.closed = False
+        self.actions = []
+
+    def scale_up(self):
+        name = f"e{len(self.actions)}"
+        self.master.active_workers.append(name)
+        self.workers[name] = self._Node(True)
+        self.actions.append("up")
+
+    def scale_down(self):
+        victim = self.master.active_workers.pop()
+        del self.workers[victim]
+        self.actions.append("down")
+
+
+class TestHysteresis:
+    def test_signal_between_thresholds_never_acts(self):
+        service = StubService(workers=4)
+        scaler = Autoscaler(
+            service,
+            AutoscalerConfig(scale_up_backlog=3.0, scale_down_backlog=0.5, cooldown_s=0.0),
+        )
+        service.admission.depth = 6  # 1.5 per worker: inside the gap
+        for step in range(100):
+            scaler._evaluate(float(step))
+        assert service.actions == []
+
+    def test_constant_load_never_flaps(self):
+        # A constant backlog must produce a monotone action sequence:
+        # scale up until the signal falls inside the gap, then nothing.
+        service = StubService(workers=2, busy=True)
+        scaler = Autoscaler(
+            service,
+            AutoscalerConfig(
+                max_workers=10, scale_up_backlog=3.0, scale_down_backlog=0.5, cooldown_s=0.0
+            ),
+        )
+        service.master.outstanding = 12  # constant total backlog
+        for step in range(200):
+            scaler._evaluate(float(step))
+        assert "down" not in service.actions
+        assert service.actions == ["up"] * len(service.actions)
+        # 12/4 = 3.0 still triggers; 12/5 = 2.4 is inside the gap.
+        assert len(service.master.active_workers) == 5
+
+    def test_cooldown_spaces_actions(self):
+        service = StubService(workers=2, busy=True)
+        scaler = Autoscaler(
+            service,
+            AutoscalerConfig(max_workers=10, scale_up_backlog=3.0, cooldown_s=30.0),
+        )
+        service.master.outstanding = 1000
+        for step in range(100):
+            scaler._evaluate(float(step))
+        # 100 s of sustained overload with a 30 s cooldown: ~4 actions.
+        assert len(service.actions) == 4
+
+    def test_busy_fleet_resists_scale_down(self):
+        service = StubService(workers=4, busy=True)
+        scaler = Autoscaler(
+            service,
+            AutoscalerConfig(
+                min_workers=1,
+                scale_down_backlog=0.5,
+                scale_down_utilization=0.5,
+                cooldown_s=0.0,
+            ),
+        )
+        service.admission.depth = 0  # queue empty, but workers all busy
+        for step in range(50):
+            scaler._evaluate(float(step))
+        assert service.actions == []
+
+    def test_validates_threshold_gap(self):
+        with pytest.raises(ValueError):
+            AutoscalerConfig(scale_up_backlog=1.0, scale_down_backlog=1.0)
+
+
+class TestEdgeCases:
+    def test_zero_arrival_window_closes_cleanly(self):
+        runtime = ServiceRuntime(
+            profile=all_equal(),
+            scheduler=make_scheduler("bidding"),
+            arrivals=TraceArrivals(at=(50.0,)),
+            service_config=ServiceConfig(duration_s=10.0),  # arrival misses window
+            config=EngineConfig(seed=5, trace=False),
+        )
+        report = runtime.run()
+        assert report.arrivals == 0
+        assert report.completed == 0
+        assert report.latency_p99_s == 0.0
+
+    def test_custom_source_tenants_reach_report(self):
+        runtime = ServiceRuntime(
+            profile=all_equal(),
+            scheduler=make_scheduler("round-robin"),
+            arrivals=PoissonArrivals(rate=1.0),
+            source=SyntheticJobSource(tenants={"red": 3.0, "blue": 1.0}),
+            service_config=ServiceConfig(duration_s=60.0),
+            config=EngineConfig(seed=9, trace=False),
+        )
+        report = runtime.run()
+        assert set(report.per_tenant_admitted) == {"red", "blue"}
+        assert report.per_tenant_admitted["red"] > report.per_tenant_admitted["blue"]
+
+    def test_stall_raises_at_max_sim_time(self):
+        runtime = make_service(duration=30.0, max_sim_time=5.0)
+        with pytest.raises(RuntimeError, match="quiesce"):
+            runtime.run()

@@ -1,0 +1,110 @@
+"""Stateful property tests for the service layer's front door.
+
+The admission controller is modelled against a plain dict-of-lists
+reference: under any interleaving of offers and dequeues the bounded
+queue must hold, conservation must hold (admitted = dequeued + still
+pending), FIFO order within a tenant must hold, and counters must
+match the model exactly.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.serve.admission import ADMIT, SHED, AdmissionConfig, AdmissionController
+from repro.serve.slo import P2Quantile
+from repro.sim import Simulator
+from repro.workload.job import Job
+from repro.workload.msr import TASK_ANALYZER
+
+QUEUE_CAP = 7
+TENANTS = ("a", "b", "c")
+
+
+class AdmissionModel(RuleBasedStateMachine):
+    """Reject-policy admission vs. a dict-of-deques reference model."""
+
+    def __init__(self):
+        super().__init__()
+        self.controller = AdmissionController(
+            Simulator(),
+            AdmissionConfig(queue_cap=QUEUE_CAP, tenant_weights={"a": 2.0}),
+        )
+        self.pending: dict[str, list[str]] = {t: [] for t in TENANTS}
+        self.admitted = 0
+        self.shed = 0
+        self.dequeued = 0
+        self.counter = 0
+
+    tenants = st.sampled_from(TENANTS)
+
+    def _depth(self) -> int:
+        return sum(len(q) for q in self.pending.values())
+
+    @rule(tenant=tenants)
+    def offer(self, tenant):
+        job_id = f"{tenant}-{self.counter}"
+        self.counter += 1
+        job = Job(job_id=job_id, task=TASK_ANALYZER, payload=(tenant,))
+        decision = self.controller.offer(job, tenant)
+        if self._depth() >= QUEUE_CAP:
+            assert decision.action == SHED
+            assert decision.reason == "queue_full"
+            self.shed += 1
+        else:
+            assert decision.action == ADMIT
+            self.pending[tenant].append(job_id)
+            self.admitted += 1
+
+    @rule()
+    def dequeue(self):
+        entry = self.controller.next_job()
+        if self._depth() == 0:
+            assert entry is None
+            return
+        job, tenant = entry
+        # The dequeued job must be the *oldest* pending one of its tenant
+        # (FIFO within a tenant; the scheduler only picks *which* tenant).
+        assert self.pending[tenant], f"tenant {tenant} had nothing pending"
+        assert job.job_id == self.pending[tenant].pop(0)
+        self.dequeued += 1
+
+    @invariant()
+    def bounded_queue(self):
+        assert self.controller.depth <= QUEUE_CAP
+        assert self.controller.depth_peak <= QUEUE_CAP
+
+    @invariant()
+    def conservation(self):
+        assert self.controller.depth == self._depth()
+        assert self.controller.admitted == self.admitted
+        assert self.controller.shed == self.shed
+        assert self.admitted == self.dequeued + self._depth()
+
+    @invariant()
+    def per_tenant_counters_sum(self):
+        assert sum(self.controller.per_tenant_admitted.values()) == self.admitted
+        assert sum(self.controller.per_tenant_shed.values()) == self.shed
+
+
+TestAdmissionModel = AdmissionModel.TestCase
+
+
+@settings(max_examples=40)
+@given(
+    st.lists(
+        st.floats(min_value=0.001, max_value=1e4, allow_nan=False),
+        min_size=1,
+        max_size=300,
+    )
+)
+def test_p2_sketch_brackets_the_data(samples):
+    """The P-squared estimate always lies within the observed range, and
+    matches nearest-rank exactly while the sample is small."""
+    sketch = P2Quantile(0.95)
+    for x in samples:
+        sketch.observe(x)
+    assert min(samples) <= sketch.value() <= max(samples)
+    if len(samples) <= 5:
+        rank = max(0, min(len(samples) - 1, round(0.95 * (len(samples) - 1))))
+        assert sketch.value() == sorted(samples)[rank]
