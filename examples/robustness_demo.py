@@ -3,12 +3,14 @@
 The paper explicitly scopes fault tolerance out ("no specific policies
 in place to handle situations such as a worker dying after winning a
 bid").  This example shows what that default costs, and what the
-engine's extensions buy back:
+:mod:`repro.faults` extension buys back -- all through the public
+``run_workflow(faults=FaultPlan(...))`` front door:
 
-1. a worker dies mid-run under the paper's protocol -- the workflow
-   stalls (we bound it with a simulation deadline and report the stall);
-2. the same failure with ``fault_tolerance=True`` -- orphaned jobs are
-   reallocated and the survivors finish the workflow;
+1. a worker dies mid-run under the paper's protocol (``recovery=None``)
+   -- the orphaned jobs are declared failed and the run raises
+   :class:`~repro.WorkflowStalled`;
+2. the same crash with recovery: the master re-dispatches the orphans,
+   the worker restarts a minute later, and the workflow completes;
 3. 30 % control-plane message loss -- the Bidding Scheduler completes
    regardless (the 1 s window + fallback double as loss handling).
 
@@ -17,66 +19,61 @@ Run with::
     python examples/robustness_demo.py
 """
 
-from repro.cluster.profiles import all_equal
-from repro.engine.runtime import EngineConfig, WorkflowRuntime
-from repro.schedulers.registry import make_scheduler
-from repro.workload.generators import job_config_by_name
+from repro import (
+    FaultPlan,
+    MessageLoss,
+    RecoveryConfig,
+    WorkerCrash,
+    WorkflowStalled,
+    run_workflow,
+)
 
 SEED = 41
+WORKLOAD = "all_diff_equal"
 
 
-def build(fault_tolerance=False, message_loss=0.0, max_sim_time=3000.0):
-    _corpus, stream = job_config_by_name("all_diff_equal").build(seed=SEED)
-    return WorkflowRuntime(
-        profile=all_equal(),
-        stream=stream,
-        scheduler=make_scheduler("bidding"),
-        config=EngineConfig(
-            seed=SEED,
-            fault_tolerance=fault_tolerance,
-            message_loss=message_loss,
-            max_sim_time=max_sim_time,
-        ),
-    )
-
-
-def kill_one_worker(runtime, at=100.0, name="w3"):
-    runtime.sim.timeout(at).add_callback(lambda _e: runtime.workers[name].kill())
+def run_with(plan):
+    return run_workflow(
+        scheduler="bidding", workload=WORKLOAD, seed=SEED, iterations=1, faults=plan
+    )[0]
 
 
 def main() -> None:
-    print("1) Worker w3 dies at t=100s, paper protocol (no fault tolerance):")
-    runtime = build(fault_tolerance=False)
-    kill_one_worker(runtime)
+    print("1) Worker w3 dies at t=100s, paper protocol (no recovery):")
+    paper_plan = FaultPlan(
+        crashes=(WorkerCrash(at_s=100.0, worker="w3"),), recovery=None
+    )
     try:
-        runtime.run()
+        run_with(paper_plan)
         print("   unexpectedly completed!")
-    except RuntimeError:
+    except WorkflowStalled as stall:
         print(
-            f"   STALLED as the paper predicts -- "
-            f"{runtime.master.outstanding} jobs orphaned/unfinished when the "
-            f"simulation deadline hit."
+            f"   STALLED as the paper predicts -- {len(stall.failed_jobs)} "
+            f"orphaned job(s) declared failed: {sorted(stall.failed_jobs)[:4]} ..."
         )
 
-    print("\n2) Same failure with the fault-tolerance extension:")
-    runtime = build(fault_tolerance=True, max_sim_time=100_000.0)
-    kill_one_worker(runtime)
-    result = runtime.run()
+    print("\n2) Same crash with the recovery protocol (restart after 60s):")
+    recovery_plan = FaultPlan(
+        crashes=(WorkerCrash(at_s=100.0, worker="w3", restart_after_s=60.0),),
+        recovery=RecoveryConfig(max_redispatches=5),
+    )
+    result = run_with(recovery_plan)
     survivors = {name: count for name, count in result.per_worker_jobs.items() if count}
     print(
         f"   completed all {result.jobs_completed} jobs in "
-        f"{result.makespan_s:.0f}s; post-failure load: {survivors}"
+        f"{result.makespan_s:.0f}s; {result.crashes} crash, "
+        f"{result.redispatches} re-dispatch(es); per-worker load: {survivors}"
     )
 
     print("\n3) 30% control-plane message loss (reliable data plane):")
-    runtime = build(message_loss=0.3, max_sim_time=100_000.0)
-    result = runtime.run()
-    broker = runtime.topology.broker
+    lossy_plan = FaultPlan(
+        message_loss=(MessageLoss(start_s=0.0, end_s=10_000.0, probability=0.3),),
+    )
+    result = run_with(lossy_plan)
     print(
         f"   completed all {result.jobs_completed} jobs in "
-        f"{result.makespan_s:.0f}s despite {broker.dropped} dropped messages; "
-        f"{runtime.metrics.contests_fallback} contests fell back to an "
-        f"arbitrary worker."
+        f"{result.makespan_s:.0f}s; {result.contests_fallback} contests fell "
+        f"back to an arbitrary worker when every bid was lost."
     )
 
 

@@ -14,17 +14,9 @@ Run with::
     python examples/service_load_demo.py
 """
 
-from repro.cluster.profiles import all_equal
-from repro.engine.runtime import EngineConfig
+from repro import run_service
 from repro.metrics.ascii_chart import grouped_bar_chart
 from repro.metrics.report import format_table
-from repro.schedulers.registry import make_scheduler
-from repro.serve import (
-    AdmissionConfig,
-    PoissonArrivals,
-    ServiceConfig,
-    ServiceRuntime,
-)
 
 RATES = [0.25, 0.5, 1.0, 1.5, 2.0]
 DURATION_S = 300.0
@@ -32,15 +24,18 @@ SEED = 23
 
 
 def run_one(scheduler: str, rate: float):
-    runtime = ServiceRuntime(
-        profile=all_equal(),
-        scheduler=make_scheduler(scheduler),
-        arrivals=PoissonArrivals(rate=rate),
-        admission_config=AdmissionConfig(queue_cap=64),
-        service_config=ServiceConfig(duration_s=DURATION_S),
-        config=EngineConfig(seed=SEED, trace=False),
+    # One call wires arrivals -> admission -> scheduler -> report; the
+    # keyword overrides route themselves to the right config dataclass
+    # (queue_cap -> admission, duration_s -> service, trace -> engine).
+    return run_service(
+        scheduler=scheduler,
+        arrival="poisson",
+        rate=rate,
+        seed=SEED,
+        duration_s=DURATION_S,
+        queue_cap=64,
+        trace=False,
     )
-    return runtime.run()
 
 
 def main() -> None:

@@ -14,27 +14,65 @@ A from-scratch Python implementation of the paper's system stack
   Random and Round-robin allocation policies,
 * :mod:`repro.core`      -- the paper's contribution: the Bidding
   Scheduler,
+* :mod:`repro.faults`    -- deterministic fault injection (crashes,
+  partitions, degradation) and the master's recovery protocol,
+* :mod:`repro.serve`     -- the open-loop service layer: arrivals,
+  admission control, elastic workers,
 * :mod:`repro.metrics`   -- the paper's three metrics + diagnostics,
 * :mod:`repro.experiments` -- one module per table/figure.
 
 Quickstart
 ----------
+Closed-loop (the paper's methodology -- a fixed workload run to
+completion, three iterations with persisting caches):
+
 >>> from repro import compare_schedulers
 >>> rows = compare_schedulers("80%_large", "one-slow", seed=7)
 >>> sorted(rows) == sorted({"baseline", "bidding"})
 True
+
+Open-loop (a long-running service under an arrival process):
+
+``run_service(scheduler="bidding", arrival="poisson", rate=2.0,
+duration_s=300.0)`` returns a :class:`~repro.serve.ServiceReport`.
+
+Both entry points accept ``faults=FaultPlan(...)`` to inject worker
+crashes, link degradation, partitions and message loss -- with the
+master recovering orphaned jobs -- deterministically per seed.
 """
 
-from repro.engine.runtime import EngineConfig, WorkflowRuntime
+from repro.engine.runtime import EngineConfig, WorkflowRuntime, WorkflowStalled
+from repro.faults import (
+    CrashRenewal,
+    FaultPlan,
+    LinkDegradation,
+    MessageLoss,
+    NetworkPartition,
+    RecoveryConfig,
+    WorkerCrash,
+)
 from repro.metrics.report import RunResult
+from repro.serve import ServiceConfig, ServiceReport, ServiceRuntime
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
+    "CrashRenewal",
     "EngineConfig",
+    "FaultPlan",
+    "LinkDegradation",
+    "MessageLoss",
+    "NetworkPartition",
+    "RecoveryConfig",
     "RunResult",
+    "ServiceConfig",
+    "ServiceReport",
+    "ServiceRuntime",
+    "WorkerCrash",
     "WorkflowRuntime",
+    "WorkflowStalled",
     "compare_schedulers",
+    "run_service",
     "run_workflow",
 ]
 
@@ -45,6 +83,8 @@ def run_workflow(
     profile: str = "all-equal",
     seed: int = 0,
     iterations: int = 3,
+    faults: "FaultPlan | None" = None,
+    allow_partial: bool = False,
     **scheduler_kwargs: object,
 ) -> list[RunResult]:
     """One-call experiment: run a scheduler on a paper workload.
@@ -53,6 +93,10 @@ def run_workflow(
     with worker caches persisting between iterations (the paper's
     methodology).  ``scheduler_kwargs`` forward to the scheduler factory
     (e.g. ``window_s=0.5`` for bidding).
+
+    ``faults`` injects a :class:`FaultPlan` into every iteration;
+    with ``allow_partial=True`` permanently failed jobs are reported on
+    the result instead of raising :class:`WorkflowStalled`.
     """
     from repro.experiments.runner import CellSpec, run_cell
 
@@ -63,8 +107,63 @@ def run_workflow(
         seed=seed,
         iterations=iterations,
         scheduler_kwargs=tuple(sorted(scheduler_kwargs.items())),
+        faults=faults,
+        allow_partial=allow_partial,
     )
     return run_cell(spec)
+
+
+def run_service(
+    scheduler: str = "bidding",
+    profile: str = "all-equal",
+    arrival: str = "poisson",
+    rate: float = 2.0,
+    seed: int = 0,
+    faults: "FaultPlan | None" = None,
+    autoscale: bool = False,
+    **overrides: object,
+) -> ServiceReport:
+    """One-call service run, symmetric with :func:`run_workflow`.
+
+    Wires a :class:`~repro.serve.ServiceRuntime` -- an arrival process
+    feeding admission control in front of the chosen scheduler -- runs
+    it, and returns the :class:`~repro.serve.ServiceReport`.
+
+    Extra keyword overrides are routed to the right config dataclass by
+    field name through :func:`repro.config.resolve_overrides`:
+    ``duration_s``/``deadline_s`` to :class:`ServiceConfig`,
+    ``queue_cap``/``rate_limit`` to admission,
+    ``min_workers``/``max_workers`` to the autoscaler (passing any
+    autoscaler knob implies ``autoscale=True``), and e.g.
+    ``message_loss`` to :class:`EngineConfig`.  Deprecated spellings
+    (``duration``, ``deadline``, ``max_inflight``, ``loss``) still work
+    with a :class:`DeprecationWarning`.
+    """
+    from repro.cluster.profiles import profile_by_name
+    from repro.config import resolve_overrides
+    from repro.schedulers.registry import make_scheduler
+    from repro.serve import (
+        AdmissionConfig,
+        AutoscalerConfig,
+        make_arrivals,
+    )
+
+    service_kw, admission_kw, scaler_kw, engine_kw = resolve_overrides(
+        overrides, ServiceConfig, AdmissionConfig, AutoscalerConfig, EngineConfig
+    )
+    runtime = ServiceRuntime(
+        profile=profile_by_name(profile),
+        scheduler=make_scheduler(scheduler),
+        arrivals=make_arrivals(arrival, rate=rate),
+        admission_config=AdmissionConfig(**admission_kw),
+        autoscaler_config=(
+            AutoscalerConfig(**scaler_kw) if (autoscale or scaler_kw) else None
+        ),
+        service_config=ServiceConfig(**service_kw),
+        config=EngineConfig(seed=seed, **engine_kw),
+        faults=faults,
+    )
+    return runtime.run()
 
 
 def compare_schedulers(

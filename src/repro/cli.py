@@ -12,6 +12,10 @@ Subcommands map one-to-one onto the experiment modules::
                                # a single cell, printed per iteration
     repro serve --scheduler bidding --arrival poisson --rate 2.0 --duration 600
                                # open-loop service run with SLO summary
+    repro faults               # degradation sweep: makespan vs crash rate
+
+``run`` and ``serve`` accept ``--faults`` with an inline JSON
+:class:`~repro.faults.FaultPlan` or ``@path/to/plan.json``.
 
 ``--parallel N`` fans independent simulation cells across N processes
 where the experiment supports it.
@@ -35,6 +39,30 @@ from repro.experiments.configs import JOB_CONFIG_NAMES, PROFILE_NAMES
 from repro.experiments.runner import CellSpec, run_cell
 from repro.metrics.report import format_table
 from repro.schedulers.registry import SCHEDULERS
+
+
+def _parse_faults(arg: Optional[str]):
+    """``--faults`` value -> FaultPlan: inline JSON or ``@file.json``."""
+    if arg is None:
+        return None
+    import json
+
+    from repro.faults import FaultPlan
+
+    text = arg
+    if arg.startswith("@"):
+        with open(arg[1:], "r", encoding="utf-8") as handle:
+            text = handle.read()
+    return FaultPlan.from_dict(json.loads(text))
+
+
+def _add_faults_flag(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--faults",
+        metavar="JSON|@FILE",
+        default=None,
+        help="fault plan as inline JSON or @path to a JSON file",
+    )
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -78,6 +106,23 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--cold", action="store_true", help="do not persist caches across iterations")
     run.add_argument("--save-json", metavar="PATH", help="persist per-iteration results as JSON")
     run.add_argument("--save-csv", metavar="PATH", help="persist per-iteration results as CSV")
+    _add_faults_flag(run)
+    run.add_argument(
+        "--allow-partial",
+        action="store_true",
+        help="report permanently failed jobs instead of erroring out",
+    )
+
+    faults = sub.add_parser(
+        "faults", help="degradation sweep: scheduler makespan under rising crash rates"
+    )
+    faults.add_argument("--seed", type=int, default=11)
+    faults.add_argument(
+        "--workload",
+        choices=sorted(set(JOB_CONFIG_NAMES) | {"all_small_strict", "zipf"}),
+        default="80%_large",
+    )
+    faults.add_argument("--profile", choices=sorted(PROFILE_NAMES), default="all-equal")
 
     serve = sub.add_parser(
         "serve", help="open-loop service run: arrivals, admission, SLO summary"
@@ -111,6 +156,7 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--min-workers", type=int, default=2)
     serve.add_argument("--max-workers", type=int, default=10)
     serve.add_argument("--save-json", metavar="PATH", help="persist the report as JSON")
+    _add_faults_flag(serve)
     return parser
 
 
@@ -122,6 +168,8 @@ def _run_single(args: argparse.Namespace) -> None:
         seed=args.seed,
         iterations=args.iterations,
         keep_cache=not args.cold,
+        faults=_parse_faults(args.faults),
+        allow_partial=args.allow_partial,
     )
     results = run_cell(spec)
     if args.save_json:
@@ -132,9 +180,13 @@ def _run_single(args: argparse.Namespace) -> None:
         from repro.experiments.report_io import save_csv
 
         print(f"results written to {save_csv(results, args.save_csv)}")
+    faulty = any(r.crashes or r.failed_jobs for r in results)
+    headers = ["iteration", "makespan [s]", "misses", "hits", "data [MB]", "jobs"]
+    if faulty:
+        headers += ["crashes", "redispatches", "failed"]
     print(
         format_table(
-            ["iteration", "makespan [s]", "misses", "hits", "data [MB]", "jobs"],
+            headers,
             [
                 [
                     str(r.iteration),
@@ -144,6 +196,11 @@ def _run_single(args: argparse.Namespace) -> None:
                     f"{r.data_load_mb:.1f}",
                     str(r.jobs_completed),
                 ]
+                + (
+                    [str(r.crashes), str(r.redispatches), str(len(r.failed_jobs))]
+                    if faulty
+                    else []
+                )
                 for r in results
             ],
             title=(
@@ -182,6 +239,7 @@ def _run_serve(args: argparse.Namespace) -> None:
         ),
         service_config=ServiceConfig(duration_s=args.duration, deadline_s=args.deadline),
         config=EngineConfig(seed=args.seed),
+        faults=_parse_faults(args.faults),
     )
     report = runtime.run()
     if args.save_json:
@@ -206,6 +264,18 @@ def _run_serve(args: argparse.Namespace) -> None:
         ["cache hits / misses", f"{report.cache_hits} / {report.cache_misses}"],
         ["data load [MB]", f"{report.data_load_mb:.1f}"],
     ]
+    if report.crashes or report.failed:
+        rows += [
+            ["failed", str(report.failed)],
+            ["crashes / restarts", f"{report.crashes} / {report.restarts}"],
+            ["redispatches", str(report.redispatches)],
+            ["duplicates suppressed", str(report.duplicates_suppressed)],
+            [
+                "recovery p50/p95/max [s]",
+                f"{report.recovery_p50_s:.2f} / {report.recovery_p95_s:.2f} / "
+                f"{report.recovery_max_s:.2f}",
+            ],
+        ]
     if report.deadline_misses or args.deadline is not None:
         rows.insert(9, ["deadline misses", str(report.deadline_misses)])
     print(
@@ -269,6 +339,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _run_single(args)
     elif args.command == "serve":
         _run_serve(args)
+    elif args.command == "faults":
+        from repro.experiments import faults_sweep
+
+        faults_sweep.main(seed=args.seed, workload=args.workload, profile=args.profile)
     return 0
 
 

@@ -91,6 +91,8 @@ class BiddingMasterPolicy(MasterPolicy):
         self._pending: Optional[Store] = None
         #: job_id -> live Contest (Listing 1's ``Bids``/``bidsMap``).
         self.contests: dict[str, Contest] = {}
+        #: job_ids already granted one fallback re-contest (recovery mode).
+        self._rebids: set[str] = set()
 
     def start(self) -> None:
         self._pending = Store(self.master.sim)
@@ -129,6 +131,13 @@ class BiddingMasterPolicy(MasterPolicy):
             contest.fast_close.succeed(message.worker)
         return True
 
+    def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
+        """Exclude the dead worker from every open contest, so surviving
+        bidders can close early instead of waiting out the window for a
+        bid that will never come."""
+        for contest in self.contests.values():
+            contest.exclude(worker)
+
     # -- the contest loop ------------------------------------------------------
 
     def _contest_runner(self):
@@ -136,6 +145,12 @@ class BiddingMasterPolicy(MasterPolicy):
         master = self.master
         while True:
             job = yield self._pending.get()
+            if not master.active_workers:
+                # Robustness: the whole fleet is momentarily down (crash
+                # storm before restarts land).  Park the job and retry.
+                yield master.sim.timeout(self.window_s)
+                self._pending.put(job)
+                continue
             contest = Contest(master.sim, job, list(master.active_workers))
             self.contests[job.job_id] = contest
             master.metrics.contest_opened(master.sim.now, job)
@@ -144,6 +159,22 @@ class BiddingMasterPolicy(MasterPolicy):
             yield AnyOf(master.sim, [window, contest.all_bids, contest.fast_close])
             outcome = contest.close()
             winner = contest.winner()
+            if (
+                winner is None
+                and master.recovery is not None
+                and job.job_id not in self._rebids
+            ):
+                # Recovery extension: a zero-bid window usually means the
+                # invitees died or were partitioned mid-contest.  Re-run
+                # the contest once against the *current* fleet instead of
+                # assigning blindly.  (The old contest stays in the map
+                # until the rerun opens, absorbing stray late bids.)
+                self._rebids.add(job.job_id)
+                master.metrics.contest_closed(
+                    master.sim.now, job, None, contest.duration, outcome
+                )
+                self._pending.put(job)
+                continue
             if winner is None:
                 # "assigns the job to an arbitrary node in case none of
                 # the workers submitted their estimates".
@@ -210,6 +241,9 @@ class BiddingWorkerPolicy(WorkerPolicy):
             if not isinstance(message, JobAnnouncement):
                 raise RuntimeError(f"unexpected announcement payload {message!r}")
             if not worker.alive:
+                # Stop shadowing the announce topic: a restarted
+                # replacement subscribes under the same name.
+                worker.topology.broker.unsubscribe(subscription)
                 return
             if worker.draining:
                 # Scale-down: a draining worker abstains.  The contest's
@@ -219,6 +253,11 @@ class BiddingWorkerPolicy(WorkerPolicy):
                 continue
             if self.bid_compute_s > 0:
                 yield worker.sim.timeout(self.bid_compute_s / worker.spec.cpu_factor)
+                if not worker.alive:
+                    # Killed while computing the bid: the contest has (or
+                    # will) exclude us, so stay silent and shut down.
+                    worker.topology.broker.unsubscribe(subscription)
+                    return
             estimate = self.estimator.estimate(message.job)
             own_cost = estimate.own_cost_s
             if self.corrector is not None:

@@ -53,6 +53,8 @@ class Contest:
         self.fast_close: Event = Event(sim)
         #: Bids that arrived after closing (diagnostics; the paper drops them).
         self.late_bids: list[Bid] = []
+        #: Workers dropped from the contest after dying mid-window.
+        self.excluded: set[str] = set()
 
     @property
     def duration(self) -> float:
@@ -74,6 +76,11 @@ class Contest:
         if self.status is ContestStatus.CLOSED:
             self.late_bids.append(bid)
             return False
+        if bid.worker in self.excluded:
+            # A bid from a worker excluded after dying can legitimately
+            # be in flight; it is dropped, not a protocol error.
+            self.late_bids.append(bid)
+            return False
         if bid.worker not in self.expected:
             raise ValueError(f"bid from uninvited worker {bid.worker!r}")
         if bid.worker in self.bids:
@@ -82,6 +89,26 @@ class Contest:
         if len(self.bids) == len(self.expected) and not self.all_bids.triggered:
             self.all_bids.succeed()
         return True
+
+    def exclude(self, worker: str) -> None:
+        """Remove an invited worker that died mid-contest.
+
+        Robustness extension: the contest no longer waits for (or
+        counts) the dead worker's bid, so :attr:`all_bids` can fire off
+        the survivors instead of stalling the window.  No-op when the
+        contest is closed or the worker was not invited.
+        """
+        if self.status is ContestStatus.CLOSED or worker not in self.expected:
+            return
+        self.expected = self.expected - {worker}
+        self.excluded.add(worker)
+        self.bids.pop(worker, None)
+        if (
+            self.expected
+            and len(self.bids) == len(self.expected)
+            and not self.all_bids.triggered
+        ):
+            self.all_bids.succeed()
 
     def winner(self) -> Optional[str]:
         """``getPreferredWorker`` (Listing 1 lines 17-21): lowest estimate.
@@ -105,6 +132,10 @@ class Contest:
         if self.status is ContestStatus.CLOSED:
             raise RuntimeError("contest already closed")
         self.status = ContestStatus.CLOSED
+        if not self.bids:
+            # Covers the degenerate every-invitee-excluded case too,
+            # where expected and bids are both empty.
+            return "fallback"
         if len(self.bids) == len(self.expected):
             return "full"
         if self.fast_close.triggered:

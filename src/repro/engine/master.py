@@ -10,6 +10,15 @@ Termination: the workflow is complete when the source stream is
 exhausted and no submitted job remains unfinished; :attr:`Master.done`
 fires at that moment, and the end-to-end execution time metric is read
 off the simulation clock (Section 6.1 metric 1).
+
+Fault handling (robustness extension): when recovery is enabled the
+master re-dispatches orphaned jobs with a retry budget and exponential
+backoff, guards completions with an at-most-once filter (a re-dispatched
+job may still be finished by its original owner, e.g. after a straggler
+timeout fired early), and -- when recovery is *disabled*, the paper's
+default -- explicitly fails orphans so the run terminates in a
+diagnosable state (:attr:`Master.failed_jobs`) instead of stalling until
+the deadline guard trips.
 """
 
 from __future__ import annotations
@@ -28,6 +37,7 @@ from repro.engine.messages import (
     is_reliable,
     worker_topic,
 )
+from repro.faults.plan import RecoveryConfig
 from repro.metrics.collector import MetricsCollector
 from repro.net.topology import Topology
 from repro.sim.events import Event
@@ -66,7 +76,12 @@ class Master:
         "assign to an arbitrary node" rule).
     fault_tolerance:
         Extension flag; the paper's default is ``False`` (orphaned jobs
-        of a dead worker are lost and the workflow stalls).
+        of a dead worker are lost -- they are recorded in
+        :attr:`failed_jobs` so the run terminates diagnosably).
+        ``True`` is shorthand for ``recovery=RecoveryConfig()``.
+    recovery:
+        Full recovery policy (retry budget, backoff, straggler
+        timeout); overrides ``fault_tolerance`` when given.
     """
 
     def __init__(
@@ -80,6 +95,7 @@ class Master:
         metrics: MetricsCollector,
         rng: Optional[np.random.Generator] = None,
         fault_tolerance: bool = False,
+        recovery: Optional[RecoveryConfig] = None,
     ) -> None:
         if not worker_names:
             raise ValueError("a run needs at least one worker")
@@ -90,7 +106,10 @@ class Master:
         self.metrics = metrics
         self.stream = stream
         self.rng = rng if rng is not None else np.random.default_rng(0)
-        self.fault_tolerance = fault_tolerance
+        if recovery is None and fault_tolerance:
+            recovery = RecoveryConfig()
+        self.recovery = recovery
+        self.fault_tolerance = recovery is not None
 
         self.name = "master"
         self.inbox = topology.subscribe(TOPIC_MASTER, self.name)
@@ -108,6 +127,16 @@ class Master:
         #: the service layer hooks latency tracking and backpressure
         #: release here without subclassing the master.
         self.completion_listeners: list = []
+        #: Callables ``(job, worker, now, reason)`` invoked when a job is
+        #: declared permanently failed.
+        self.failure_listeners: list = []
+        #: job_id -> reason for jobs declared permanently failed.
+        self.failed_jobs: dict[str, str] = {}
+        self._completed_ids: set[str] = set()
+        self._redispatch_counts: dict[str, int] = {}
+        #: job_id -> (job, worker, assigned_at) for in-flight assignments;
+        #: feeds orphan recovery and the straggler monitor.
+        self._assigned_at: dict[str, tuple[Job, str, float]] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -121,6 +150,8 @@ class Master:
         if self.stream is not None:
             self.sim.process(self._intake(), name="master-intake")
         self.sim.process(self._main_loop(), name="master-main")
+        if self.recovery is not None and self.recovery.redispatch_timeout_s is not None:
+            self.sim.process(self._straggler_monitor(), name="master-stragglers")
 
     # -- helpers the policies drive --------------------------------------------
 
@@ -137,19 +168,26 @@ class Master:
         if worker not in self.worker_names:
             raise ValueError(f"assignment to unknown worker {worker!r}")
         self.assignments[job.job_id] = worker
+        self._assigned_at[job.job_id] = (job, worker, self.sim.now)
         self.metrics.job_assigned(self.sim.now, job, worker)
 
     def send_to_worker(self, worker: str, message: object) -> None:
         """Point-to-point message to one worker (persistent delivery for
         job-carrying messages; see :func:`repro.engine.messages.is_reliable`)."""
         self.topology.broker.publish(
-            worker_topic(worker), message, reliable=is_reliable(message)
+            worker_topic(worker),
+            message,
+            reliable=is_reliable(message),
+            sender=self.name,
         )
 
     def broadcast(self, message: object) -> None:
         """Announce to every worker (the bidding contest channel)."""
         self.topology.broker.publish(
-            TOPIC_ANNOUNCE, message, reliable=is_reliable(message)
+            TOPIC_ANNOUNCE,
+            message,
+            reliable=is_reliable(message),
+            sender=self.name,
         )
 
     # -- fleet membership (service-layer elasticity) -----------------------
@@ -181,6 +219,20 @@ class Master:
         self.active_workers.remove(name)
         self.metrics.worker_retired(self.sim.now, name)
         self.policy.on_worker_retired(name)
+
+    def revive_worker(self, name: str) -> None:
+        """Re-admit a restarted worker into the active set.
+
+        The name must already be registered (restart, not scale-up);
+        must be called before the fresh node's :meth:`WorkerNode.start`.
+        """
+        if name not in self.worker_names:
+            raise ValueError(f"cannot revive unknown worker {name!r}")
+        if name in self.active_workers:
+            raise ValueError(f"worker {name!r} is already active")
+        self.active_workers.append(name)
+        self.metrics.worker_restarted(self.sim.now, name)
+        self.policy.on_worker_joined(name)
 
     def arbitrary_worker(self) -> str:
         """The fallback pick when a policy must choose blindly."""
@@ -247,6 +299,22 @@ class Master:
 
     def _on_completed(self, message: JobCompleted) -> None:
         job = message.job
+        # At-most-once guard: after a re-dispatch the original owner may
+        # still deliver (straggler timeout fired early, or a partition
+        # healed and flushed a held completion).  Only the first result
+        # counts; duplicates must not expand children or decrement
+        # ``outstanding`` a second time.
+        if job.job_id in self._completed_ids or job.job_id in self.failed_jobs:
+            if self.recovery is None and job.job_id in self._completed_ids:
+                # Without recovery nothing is ever re-dispatched, so a
+                # second completion is an engine bug, not a race.
+                raise RuntimeError(
+                    f"job {job.job_id!r} completed more times than submitted"
+                )
+            self.metrics.duplicate_suppressed(self.sim.now, job, message.worker)
+            return
+        self._completed_ids.add(job.job_id)
+        self._assigned_at.pop(job.job_id, None)
         children = self.pipeline.on_completion(job)
         self.policy.on_job_completed(job, message.worker)
         # Submit children *before* completing the parent: outstanding must
@@ -272,12 +340,91 @@ class Master:
     def _on_worker_failure(self, message: WorkerFailure) -> None:
         if message.worker in self.active_workers:
             self.active_workers.remove(message.worker)
-        if not self.fault_tolerance:
+        orphans = [
+            job
+            for job in message.orphaned
+            if job.job_id not in self._completed_ids
+            and job.job_id not in self.failed_jobs
+        ]
+        if self.recovery is None:
             # The paper: "no specific policies in place to handle ...
-            # a worker dying after winning a bid".  Orphans are lost;
-            # the workflow will stall (observable in the failure tests).
+            # a worker dying after winning a bid".  Orphans are lost --
+            # but explicitly: each is declared failed so the run reaches
+            # a diagnosable terminal state instead of stalling until the
+            # deadline guard fires.
+            for job in orphans:
+                self._fail_job(
+                    job, message.worker, "worker failed; fault tolerance disabled"
+                )
             return
-        self.policy.on_worker_failed(message.worker, list(message.orphaned))
+        for job in orphans:
+            self.metrics.job_orphaned(self.sim.now, job, message.worker)
+        # Policies get the failure for *bookkeeping* (drop plans, close
+        # contests); the master owns the actual re-dispatch below.
+        self.policy.on_worker_failed(message.worker, orphans)
+        for job in orphans:
+            self._recover_orphan(job, message.worker)
+
+    # -- recovery ----------------------------------------------------------
+
+    def _recover_orphan(self, job: Job, worker: Optional[str]) -> None:
+        """Re-dispatch an orphan through the policy, within the budget."""
+        self._assigned_at.pop(job.job_id, None)
+        if job.job_id in self._completed_ids or job.job_id in self.failed_jobs:
+            return
+        attempts = self._redispatch_counts.get(job.job_id, 0)
+        if attempts >= self.recovery.max_redispatches:
+            self._fail_job(
+                job,
+                worker,
+                f"retry budget exhausted ({attempts} re-dispatches)",
+            )
+            return
+        self._redispatch_counts[job.job_id] = attempts + 1
+        self.metrics.job_redispatched(self.sim.now, job)
+        delay = self.recovery.backoff_base_s * self.recovery.backoff_factor**attempts
+        if delay <= 0:
+            self.policy.on_job(job)
+            return
+
+        def redispatch(_event, job=job):
+            if job.job_id in self._completed_ids or job.job_id in self.failed_jobs:
+                return
+            self.policy.on_job(job)
+
+        self.sim.timeout(delay).add_callback(redispatch)
+
+    def _fail_job(self, job: Job, worker: Optional[str], reason: str) -> None:
+        """Declare ``job`` permanently failed and release its slot."""
+        if job.job_id in self.failed_jobs or job.job_id in self._completed_ids:
+            return
+        self.failed_jobs[job.job_id] = reason
+        self._assigned_at.pop(job.job_id, None)
+        self.metrics.job_failed(self.sim.now, job, reason)
+        self.outstanding -= 1
+        for listener in self.failure_listeners:
+            listener(job, worker, self.sim.now, reason)
+        self._check_done()
+
+    def _straggler_monitor(self):
+        """Re-dispatch assignments outstanding past the timeout.
+
+        This is the path that can create genuine duplicates (the slow
+        original may still finish) -- which the at-most-once guard in
+        :meth:`_on_completed` absorbs.
+        """
+        timeout = self.recovery.redispatch_timeout_s
+        while True:
+            yield self.sim.timeout(timeout / 2)
+            now = self.sim.now
+            overdue = [
+                (job, worker)
+                for job, worker, at in list(self._assigned_at.values())
+                if now - at >= timeout
+            ]
+            for job, worker in overdue:
+                self.metrics.job_orphaned(now, job, worker)
+                self._recover_orphan(job, worker)
 
     def _check_done(self) -> None:
         if self.intake_done and self.outstanding == 0 and not self.done.triggered:

@@ -28,6 +28,8 @@ from repro.cluster.profiles import WorkerProfile
 from repro.data.cache import WorkerCache
 from repro.engine.master import Master
 from repro.engine.worker import WorkerNode
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import RunResult
 from repro.net.bandwidth import FairSharePipe
@@ -136,6 +138,64 @@ def build_worker_node(
     )
 
 
+class WorkflowStalled(RuntimeError):
+    """The run terminated with permanently failed jobs.
+
+    Raised by :meth:`WorkflowRuntime.run` (unless ``allow_partial=True``)
+    when orphaned jobs could not be recovered -- either fault tolerance
+    is disabled (the paper's default) or the retry budget ran out.  The
+    failed set is on :attr:`failed_jobs` and in
+    :attr:`~repro.metrics.report.RunResult.failed_jobs`.
+    """
+
+    def __init__(self, failed_jobs: dict[str, str]):
+        sample = "; ".join(
+            f"{job_id}: {reason}" for job_id, reason in list(failed_jobs.items())[:3]
+        )
+        super().__init__(
+            f"workflow did not complete: {len(failed_jobs)} job(s) permanently "
+            f"failed ({sample})"
+        )
+        self.failed_jobs = dict(failed_jobs)
+
+
+def restart_worker(host, name: str) -> WorkerNode:
+    """Rebuild a dead worker in-place on a running host.
+
+    Shared restart path for :class:`WorkflowRuntime` and
+    :class:`repro.serve.ServiceRuntime` (the ``host``): unsubscribes the
+    dead node's mailbox (so its dead-letter bounce stops shadowing the
+    replacement), wires a fresh node -- warm cache if the fault plan
+    keeps it -- re-admits the name via :meth:`Master.revive_worker`, and
+    starts the node.  The noise RNG substream is memoized per worker
+    name, so the replacement continues the same stream and the run stays
+    seed-deterministic.
+    """
+    old = host.workers[name]
+    host.topology.broker.unsubscribe(old.inbox)
+    plan = getattr(host, "faults", None)
+    keep_cache = plan.restart_keeps_cache if plan is not None else True
+    node = build_worker_node(
+        host.sim,
+        host.topology,
+        old.spec,
+        host.scheduler,
+        host.metrics,
+        host.pipeline,
+        host.config,
+        noise_rng=host._streams.get("noise", name),
+        origin=host._origin,
+        initial_cache=old.cache.contents() if keep_cache else None,
+    )
+    host.workers[name] = node
+    host.master.revive_worker(name)
+    node.start()
+    policy = host._master_policy
+    if hasattr(policy, "cache_view"):
+        policy.cache_view[name] = set(node.cache.contents())
+    return node
+
+
 def single_task_pipeline() -> Pipeline:
     """The trivial pipeline used by the Section 6.3 controlled runs:
     a lone ``RepositoryAnalyzer`` consuming analysis jobs, no children."""
@@ -159,12 +219,17 @@ class WorkflowRuntime:
         config: Optional[EngineConfig] = None,
         initial_caches: Optional[dict[str, dict[str, float]]] = None,
         iteration: int = 0,
+        faults: Optional[FaultPlan] = None,
+        allow_partial: bool = False,
     ) -> None:
         self.profile = profile
         self.stream = stream
         self.scheduler = scheduler
         self.config = config or EngineConfig()
         self.iteration = iteration
+        self.faults = faults
+        self.allow_partial = allow_partial
+        self.injector: Optional[FaultInjector] = None
 
         # Each iteration of a repeated configuration is an independent
         # execution: noise draws, topology placement and policy tie-breaks
@@ -172,6 +237,7 @@ class WorkflowRuntime:
         # caller).  Mixing the iteration index into the stream seed keeps
         # iterations decorrelated without touching the cell seed.
         streams = RandomStreams(split_seed(self.config.seed, "iteration", iteration))
+        self._streams = streams
         self.sim = Simulator()
         self.metrics = MetricsCollector()
         self.metrics.trace.enabled = self.config.trace
@@ -198,6 +264,7 @@ class WorkflowRuntime:
             if self.config.shared_origin_mbps is not None
             else None
         )
+        self._origin = origin
 
         self.workers: dict[str, WorkerNode] = {}
         for spec in profile.specs:
@@ -215,6 +282,7 @@ class WorkflowRuntime:
             )
 
         master_policy = scheduler.make_master()
+        self._master_policy = master_policy
         self.master = Master(
             sim=self.sim,
             topology=self.topology,
@@ -225,6 +293,7 @@ class WorkflowRuntime:
             metrics=self.metrics,
             rng=streams.get("master"),
             fault_tolerance=self.config.fault_tolerance,
+            recovery=faults.recovery if faults is not None else None,
         )
         # Centralized policies get the driver's block-location view
         # (what is cached where *now*; they never see later changes).
@@ -251,15 +320,30 @@ class WorkflowRuntime:
     def run(self) -> RunResult:
         """Run the workflow to completion and summarise it.
 
-        Raises ``RuntimeError`` if the workflow does not finish within
-        ``config.max_sim_time`` simulated seconds (e.g. orphaned jobs
-        after an unhandled worker failure).
+        Raises :class:`WorkflowStalled` when jobs failed permanently and
+        ``allow_partial`` is off, or ``RuntimeError`` if the workflow
+        does not finish within ``config.max_sim_time`` simulated seconds.
         """
         self.master.start()
         for worker in self.workers.values():
             worker.start()
+        if self.faults is not None and not self.faults.is_trivial:
+            self.injector = FaultInjector(
+                sim=self.sim,
+                plan=self.faults,
+                rng=self._streams.get("faults"),
+                workers=self.workers,
+                master=self.master,
+                broker=self.topology.broker,
+                metrics=self.metrics,
+                restart=lambda name: restart_worker(self, name),
+                loss_rng=self._streams.get("faults", "loss"),
+            )
+            self.injector.start()
         self.sim.process(self._deadline_guard(), name="deadline-guard")
         self.sim.run(until=self.master.done)
+        if self.master.failed_jobs and not self.allow_partial:
+            raise WorkflowStalled(self.master.failed_jobs)
         return self.result()
 
     def _deadline_guard(self):
@@ -293,6 +377,10 @@ class WorkflowRuntime:
             per_worker_jobs={
                 name: block.jobs_completed for name, block in metrics.workers.items()
             },
+            failed_jobs=tuple(sorted(self.master.failed_jobs)),
+            crashes=metrics.workers_crashed,
+            redispatches=metrics.jobs_redispatched,
+            duplicates_suppressed=metrics.duplicates_suppressed,
         )
 
     def cache_snapshot(self) -> dict[str, dict[str, float]]:

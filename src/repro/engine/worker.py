@@ -133,7 +133,9 @@ class WorkerNode:
     def send_to_master(self, message: object) -> None:
         """Publish a message on the master's topic (persistent delivery
         for job-carrying/completion messages)."""
-        self.topology.broker.publish(TOPIC_MASTER, message, reliable=is_reliable(message))
+        self.topology.broker.publish(
+            TOPIC_MASTER, message, reliable=is_reliable(message), sender=self.name
+        )
 
     # -- state queries -----------------------------------------------------
 

@@ -16,8 +16,10 @@ from dataclasses import dataclass, field, replace
 from typing import Iterable, Optional, Sequence
 
 from repro.cluster.profiles import profile_by_name
+from repro.config import apply_overrides
 from repro.engine.runtime import EngineConfig, WorkflowRuntime
 from repro.experiments.configs import ITERATIONS, default_engine_config
+from repro.faults.plan import FaultPlan
 from repro.metrics.report import RunResult
 from repro.schedulers.registry import make_scheduler
 from repro.workload.generators import job_config_by_name
@@ -42,6 +44,14 @@ class CellSpec:
     #: ``(("mean_interarrival_s", 0.0),)`` for a burst submission).
     workload_overrides: tuple[tuple[str, object], ...] = ()
     engine: Optional[EngineConfig] = None
+    #: Field overrides applied to the engine config (canonicalized through
+    #: :func:`repro.config.apply_overrides`, so deprecated spellings warn).
+    engine_overrides: tuple[tuple[str, object], ...] = ()
+    #: Fault scenario injected into every iteration (``None`` = healthy run).
+    faults: Optional[FaultPlan] = None
+    #: Return results even when jobs failed permanently, instead of
+    #: raising :class:`~repro.engine.runtime.WorkflowStalled`.
+    allow_partial: bool = False
 
     def with_scheduler_kwargs(self, **kwargs: object) -> "CellSpec":
         """A copy with extra scheduler keyword arguments."""
@@ -50,8 +60,11 @@ class CellSpec:
         return replace(self, scheduler_kwargs=tuple(sorted(merged.items())))
 
     def engine_config(self) -> EngineConfig:
-        """The engine configuration for this cell."""
-        return self.engine if self.engine is not None else default_engine_config(self.seed)
+        """The engine configuration for this cell, overrides applied."""
+        base = self.engine if self.engine is not None else default_engine_config(self.seed)
+        if self.engine_overrides:
+            base = apply_overrides(base, dict(self.engine_overrides))
+        return base
 
 
 def run_cell(spec: CellSpec) -> list[RunResult]:
@@ -76,6 +89,8 @@ def run_cell(spec: CellSpec) -> list[RunResult]:
             config=spec.engine_config(),
             initial_caches=caches if spec.keep_cache else None,
             iteration=iteration,
+            faults=spec.faults,
+            allow_partial=spec.allow_partial,
         )
         results.append(runtime.run())
         if spec.keep_cache:

@@ -1,0 +1,246 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a frozen, validated description of *what goes
+wrong and when*: worker crashes (one-shot or MTBF/MTTR renewal
+processes), link degradation windows, network partitions and
+message-loss intervals -- plus the :class:`RecoveryConfig` that governs
+how the master responds.  Plans are pure data: all randomness (renewal
+inter-arrival draws, victim selection, per-message loss coin flips) is
+drawn from the run's split RNG streams at execution time by the
+:class:`~repro.faults.injector.FaultInjector`, so a plan plus a seed
+reproduces the exact same crash times on every run.
+
+Plans round-trip through plain dicts (:meth:`FaultPlan.to_dict` /
+:meth:`FaultPlan.from_dict`) so the CLI can accept them as JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+def _freeze(value):
+    """Coerce lists (e.g. straight from JSON) into tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return value
+
+
+@dataclass(frozen=True)
+class RecoveryConfig:
+    """How the master recovers orphaned jobs.
+
+    A job orphaned by a worker failure is re-dispatched through the
+    scheduler policy up to ``max_redispatches`` times, waiting
+    ``backoff_base_s * backoff_factor ** attempt`` between attempts.
+    ``redispatch_timeout_s``, when set, additionally treats any
+    assignment outstanding longer than the timeout as lost and
+    re-dispatches it -- the case the at-most-once completion guard
+    exists for, because the original may still finish.
+    """
+
+    max_redispatches: int = 3
+    backoff_base_s: float = 0.5
+    backoff_factor: float = 2.0
+    redispatch_timeout_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.max_redispatches < 0:
+            raise ValueError("max_redispatches must be >= 0")
+        if self.backoff_base_s < 0:
+            raise ValueError("backoff_base_s must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if self.redispatch_timeout_s is not None and self.redispatch_timeout_s <= 0:
+            raise ValueError("redispatch_timeout_s must be positive")
+
+
+@dataclass(frozen=True)
+class WorkerCrash:
+    """One-shot crash at ``at_s``; optionally restarts after a delay.
+
+    ``worker=None`` picks a random victim (from the plan's RNG stream)
+    among workers alive at crash time.
+    """
+
+    at_s: float
+    worker: Optional[str] = None
+    restart_after_s: Optional[float] = None
+
+    def __post_init__(self):
+        if self.at_s < 0:
+            raise ValueError("at_s must be >= 0")
+        if self.restart_after_s is not None and self.restart_after_s <= 0:
+            raise ValueError("restart_after_s must be positive")
+
+
+@dataclass(frozen=True)
+class CrashRenewal:
+    """Poisson crash/repair renewal process.
+
+    Crashes arrive with exponential inter-arrival times of mean
+    ``mtbf_s``; each victim restarts after an exponential repair time of
+    mean ``mttr_s`` (or stays down forever when ``mttr_s`` is ``None``).
+    ``targets`` restricts victims to the named workers; empty means any.
+    """
+
+    mtbf_s: float
+    mttr_s: Optional[float] = None
+    start_s: float = 0.0
+    end_s: Optional[float] = None
+    targets: tuple = ()
+    max_crashes: Optional[int] = None
+
+    def __post_init__(self):
+        object.__setattr__(self, "targets", _freeze(self.targets))
+        if self.mtbf_s <= 0:
+            raise ValueError("mtbf_s must be positive")
+        if self.mttr_s is not None and self.mttr_s <= 0:
+            raise ValueError("mttr_s must be positive")
+        if self.start_s < 0:
+            raise ValueError("start_s must be >= 0")
+        if self.end_s is not None and self.end_s <= self.start_s:
+            raise ValueError("end_s must be > start_s")
+        if self.max_crashes is not None and self.max_crashes <= 0:
+            raise ValueError("max_crashes must be positive")
+
+
+@dataclass(frozen=True)
+class LinkDegradation:
+    """Scale link bandwidth and/or add latency over a time window.
+
+    ``targets`` names the workers whose links degrade; empty means all.
+    """
+
+    start_s: float
+    end_s: float
+    bandwidth_factor: float = 1.0
+    extra_latency_s: float = 0.0
+    targets: tuple = ()
+
+    def __post_init__(self):
+        object.__setattr__(self, "targets", _freeze(self.targets))
+        if self.start_s < 0:
+            raise ValueError("start_s must be >= 0")
+        if self.end_s <= self.start_s:
+            raise ValueError("end_s must be > start_s")
+        if not 0.0 < self.bandwidth_factor <= 1.0:
+            raise ValueError("bandwidth_factor must be in (0, 1]")
+        if self.extra_latency_s < 0:
+            raise ValueError("extra_latency_s must be >= 0")
+        if self.bandwidth_factor == 1.0 and self.extra_latency_s == 0.0:
+            raise ValueError("degradation must cut bandwidth or add latency")
+
+
+@dataclass(frozen=True)
+class NetworkPartition:
+    """Split the broker: ``group`` cannot exchange messages with the rest.
+
+    Non-reliable messages crossing the cut are dropped; reliable ones
+    (the persistent-JMS class: job assignments, completions, failures)
+    are held and delivered when the partition heals at ``end_s``.
+    """
+
+    start_s: float
+    end_s: float
+    group: tuple
+
+    def __post_init__(self):
+        object.__setattr__(self, "group", _freeze(self.group))
+        if self.start_s < 0:
+            raise ValueError("start_s must be >= 0")
+        if self.end_s <= self.start_s:
+            raise ValueError("end_s must be > start_s")
+        if not self.group:
+            raise ValueError("partition group must name at least one node")
+
+
+@dataclass(frozen=True)
+class MessageLoss:
+    """Raise the broker's non-reliable drop probability over a window."""
+
+    start_s: float
+    end_s: float
+    probability: float
+
+    def __post_init__(self):
+        if self.start_s < 0:
+            raise ValueError("start_s must be >= 0")
+        if self.end_s <= self.start_s:
+            raise ValueError("end_s must be > start_s")
+        if not 0.0 <= self.probability < 1.0:
+            raise ValueError("probability must be in [0, 1)")
+
+
+_SCHEDULE_FIELDS = {
+    "crashes": WorkerCrash,
+    "renewals": CrashRenewal,
+    "degradations": LinkDegradation,
+    "partitions": NetworkPartition,
+    "message_loss": MessageLoss,
+}
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """The full fault scenario for one run.
+
+    Composes any number of crash, renewal, degradation, partition and
+    loss schedules, plus the recovery policy.  An all-defaults plan
+    (``FaultPlan()``) injects nothing and enables master-side recovery
+    with the default budget -- handy for turning on recovery without
+    injecting faults.  ``recovery=None`` injects *without* recovery
+    (the paper's default response: orphans are declared failed).
+    """
+
+    crashes: tuple = ()
+    renewals: tuple = ()
+    degradations: tuple = ()
+    partitions: tuple = ()
+    message_loss: tuple = ()
+    recovery: Optional[RecoveryConfig] = field(default_factory=RecoveryConfig)
+    #: Restarted workers come back with their cache contents intact
+    #: (warm restart); ``False`` models a fresh machine.
+    restart_keeps_cache: bool = True
+
+    def __post_init__(self):
+        for name, cls in _SCHEDULE_FIELDS.items():
+            entries = _freeze(getattr(self, name))
+            for entry in entries:
+                if not isinstance(entry, cls):
+                    raise TypeError(f"{name} entries must be {cls.__name__}, got {type(entry).__name__}")
+            object.__setattr__(self, name, entries)
+        if self.recovery is not None and not isinstance(self.recovery, RecoveryConfig):
+            raise TypeError("recovery must be a RecoveryConfig or None")
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the plan schedules no injections at all."""
+        return not any(getattr(self, name) for name in _SCHEDULE_FIELDS)
+
+    def to_dict(self) -> dict:
+        out = {
+            name: [dataclasses.asdict(entry) for entry in getattr(self, name)]
+            for name in _SCHEDULE_FIELDS
+        }
+        out["recovery"] = (
+            dataclasses.asdict(self.recovery) if self.recovery is not None else None
+        )
+        out["restart_keeps_cache"] = self.restart_keeps_cache
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "FaultPlan":
+        data = dict(data)
+        unknown = set(data) - set(_SCHEDULE_FIELDS) - {"recovery", "restart_keeps_cache"}
+        if unknown:
+            raise ValueError(f"unknown FaultPlan keys: {sorted(unknown)}")
+        kwargs = {}
+        for name, entry_cls in _SCHEDULE_FIELDS.items():
+            kwargs[name] = tuple(entry_cls(**entry) for entry in data.get(name, ()))
+        recovery = data.get("recovery", {})
+        kwargs["recovery"] = RecoveryConfig(**recovery) if recovery is not None else None
+        kwargs["restart_keeps_cache"] = bool(data.get("restart_keeps_cache", True))
+        return cls(**kwargs)

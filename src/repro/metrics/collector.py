@@ -58,6 +58,17 @@ class MetricsCollector:
     workers_joined: int = 0
     workers_retired: int = 0
 
+    # Fault/recovery counters (robustness extension; zero in clean runs).
+    workers_crashed: int = 0
+    workers_restarted: int = 0
+    jobs_orphaned: int = 0
+    jobs_redispatched: int = 0
+    jobs_failed: int = 0
+    duplicates_suppressed: int = 0
+    #: Orphan-to-completion delays, one entry per recovered job.
+    recovery_times: list = field(default_factory=list)
+    _orphaned_at: dict = field(default_factory=dict)
+
     def worker(self, name: str) -> WorkerMetrics:
         """Get-or-create the counter block for ``name``."""
         block = self.workers.get(name)
@@ -131,6 +142,9 @@ class MetricsCollector:
         self.jobs_completed += 1
         if worker is not None:
             self.worker(worker).jobs_completed += 1
+        orphaned_at = self._orphaned_at.pop(job.job_id, None)
+        if orphaned_at is not None:
+            self.recovery_times.append(now - orphaned_at)
         self.trace.record(now, "completed", job.job_id, worker)
 
     # -- service layer (admission + elasticity) ------------------------------
@@ -149,6 +163,41 @@ class MetricsCollector:
         """A worker left the active set mid-run (scale-down drain)."""
         self.workers_retired += 1
         self.trace.record(now, "worker_retired", "-", worker)
+
+    # -- faults and recovery --------------------------------------------------
+
+    def worker_crashed(self, now: float, worker: str) -> None:
+        """Fault injection killed a worker."""
+        self.workers_crashed += 1
+        self.trace.record(now, "worker_crashed", "-", worker)
+
+    def worker_restarted(self, now: float, worker: str) -> None:
+        """A crashed worker rejoined the fleet."""
+        self.workers_restarted += 1
+        self.trace.record(now, "worker_restarted", "-", worker)
+
+    def job_orphaned(self, now: float, job: Job, worker: Optional[str]) -> None:
+        """A job lost its worker (crash or straggler timeout)."""
+        self.jobs_orphaned += 1
+        # First orphan time anchors the recovery-latency measurement.
+        self._orphaned_at.setdefault(job.job_id, now)
+        self.trace.record(now, "orphaned", job.job_id, worker)
+
+    def job_redispatched(self, now: float, job: Job) -> None:
+        """The master re-dispatched an orphan through the policy."""
+        self.jobs_redispatched += 1
+        self.trace.record(now, "redispatched", job.job_id)
+
+    def job_failed(self, now: float, job: Job, reason: str) -> None:
+        """The job was declared permanently failed."""
+        self.jobs_failed += 1
+        self._orphaned_at.pop(job.job_id, None)
+        self.trace.record(now, "failed", job.job_id, reason)
+
+    def duplicate_suppressed(self, now: float, job: Job, worker: Optional[str]) -> None:
+        """At-most-once guard: a second completion for the job arrived."""
+        self.duplicates_suppressed += 1
+        self.trace.record(now, "duplicate_suppressed", job.job_id, worker)
 
     # -- scheduling overhead ---------------------------------------------------
 

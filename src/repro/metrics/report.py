@@ -33,8 +33,15 @@ class RunResult:
     rejections: int = 0
     per_worker_mb: Mapping[str, float] = field(default_factory=dict)
     per_worker_jobs: Mapping[str, int] = field(default_factory=dict)
+    #: Job ids declared permanently failed (empty in healthy runs).
+    failed_jobs: tuple = ()
+    crashes: int = 0
+    redispatches: int = 0
+    duplicates_suppressed: int = 0
 
     def __post_init__(self) -> None:
+        # JSON deserialisation hands back a list; normalise to a tuple.
+        object.__setattr__(self, "failed_jobs", tuple(self.failed_jobs))
         if self.makespan_s < 0:
             raise ValueError("makespan must be non-negative")
         if self.cache_misses < 0 or self.cache_hits < 0:

@@ -48,6 +48,12 @@ EVENT_KINDS = frozenset(
         "shed",
         "worker_joined",
         "worker_retired",
+        "worker_crashed",
+        "worker_restarted",
+        "orphaned",
+        "redispatched",
+        "failed",
+        "duplicate_suppressed",
     }
 )
 

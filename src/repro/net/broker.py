@@ -13,6 +13,18 @@ window of the Bidding Scheduler.
 Delivery is reliable and per-subscriber FIFO (equal per-pair latency +
 deterministic event ordering); the paper explicitly assumes no message
 loss and no fault tolerance.
+
+The robustness extension adds two degradation models on top:
+
+* ``drop_probability`` -- each non-reliable delivery is lost with this
+  probability (reliable deliveries model persistent JMS messages).
+* **Partitions** -- :meth:`add_partition` splits the fleet into a named
+  group and the rest.  While a partition is up, non-reliable messages
+  crossing the cut are dropped; reliable ones are *held* and delivered
+  when :meth:`remove_partition` heals the cut, preserving message
+  conservation.  Senders identify themselves via the ``sender=``
+  argument to :meth:`publish`/:meth:`send`; messages without a sender
+  are treated as partition-exempt (back-compat for tests and tools).
 """
 
 from __future__ import annotations
@@ -91,6 +103,12 @@ class Broker:
         self.published = 0
         #: Deliveries lost to the drop model.
         self.dropped = 0
+        #: Non-reliable deliveries lost to an active partition.
+        self.partition_dropped = 0
+        self._partitions: dict[int, frozenset[str]] = {}
+        self._next_partition_id = 0
+        #: Reliable deliveries held back by a partition, flushed on heal.
+        self._held: list[tuple[Subscription, Any, Optional[str]]] = []
 
     def subscribe(self, topic: str, name: str, latency: float = 0.0) -> Subscription:
         """Register a subscriber mailbox on ``topic``.
@@ -116,34 +134,85 @@ class Broker:
         """Current subscriptions on ``topic`` (empty list if none)."""
         return list(self._topics.get(topic, ()))
 
+    def add_partition(self, group: frozenset[str]) -> int:
+        """Split ``group`` from the rest of the fleet; returns a handle.
+
+        While active, a message whose sender and receiver fall on
+        opposite sides of the cut cannot be delivered: non-reliable
+        messages are counted in :attr:`partition_dropped` and lost,
+        reliable ones are held and re-delivered when
+        :meth:`remove_partition` is called with the returned handle.
+        """
+        if not group:
+            raise ValueError("partition group must not be empty")
+        pid = self._next_partition_id
+        self._next_partition_id += 1
+        self._partitions[pid] = frozenset(group)
+        return pid
+
+    def remove_partition(self, pid: int) -> None:
+        """Heal a partition and flush any reliable messages it held."""
+        self._partitions.pop(pid)
+        held, self._held = self._held, []
+        for subscription, message, sender in held:
+            self._deliver(subscription, message, reliable=True, sender=sender)
+
+    def _partitioned(self, sender: Optional[str], receiver: str) -> bool:
+        if sender is None or not self._partitions:
+            return False
+        return any(
+            (sender in group) != (receiver in group)
+            for group in self._partitions.values()
+        )
+
     def publish(
         self,
         topic: str,
         message: Any,
         exclude: Optional[Subscription] = None,
         reliable: bool = False,
+        sender: Optional[str] = None,
     ) -> int:
         """Deliver ``message`` to every subscriber of ``topic``.
 
         Returns the number of subscribers the message was sent to.
         Delivery happens after each subscriber's latency; a copy of the
         *reference* is delivered (messages are treated as immutable).
-        ``reliable`` deliveries bypass the drop model.
+        ``reliable`` deliveries bypass the drop model.  ``sender`` names
+        the publishing node for partition filtering.
         """
         self.published += 1
         count = 0
         for subscription in self._topics.get(topic, ()):
             if subscription is exclude:
                 continue
-            self._deliver(subscription, message, reliable=reliable)
+            self._deliver(subscription, message, reliable=reliable, sender=sender)
             count += 1
         return count
 
-    def send(self, subscription: Subscription, message: Any, reliable: bool = False) -> None:
+    def send(
+        self,
+        subscription: Subscription,
+        message: Any,
+        reliable: bool = False,
+        sender: Optional[str] = None,
+    ) -> None:
         """Point-to-point delivery to one known mailbox."""
-        self._deliver(subscription, message, reliable=reliable)
+        self._deliver(subscription, message, reliable=reliable, sender=sender)
 
-    def _deliver(self, subscription: Subscription, message: Any, reliable: bool = False) -> None:
+    def _deliver(
+        self,
+        subscription: Subscription,
+        message: Any,
+        reliable: bool = False,
+        sender: Optional[str] = None,
+    ) -> None:
+        if self._partitioned(sender, subscription.name):
+            if reliable:
+                self._held.append((subscription, message, sender))
+            else:
+                self.partition_dropped += 1
+            return
         if (
             not reliable
             and self.drop_probability > 0

@@ -137,13 +137,31 @@ class BARMasterPolicy(MasterPolicy):
                 f"BAR needs the runtime-injected speed_view; missing {missing}"
             )
 
+    # -- fleet churn -------------------------------------------------------------
+
+    def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
+        """Remove the dead worker from the load table and strip its plan
+        entries; orphans re-dispatched by the master then fall through
+        to the earliest-completion rule over the survivors."""
+        self._load.pop(worker, None)
+        for job_id, name in list(self._plan.items()):
+            if name == worker:
+                del self._plan[job_id]
+
+    def on_worker_joined(self, worker: str) -> None:
+        """Admit a restarted worker at the current maximum load estimate
+        (BAR planned the run without it; only re-dispatched and late
+        jobs should flow its way)."""
+        if self._load and worker not in self._load:
+            self._load[worker] = max(self._load.values())
+
     # -- arrival-time dispatch -------------------------------------------------------
 
     def on_job(self, job: Job) -> None:
         worker = self._plan.pop(job.job_id, None)
         if worker is None:
             if not self._load:
-                self._load = {name: 0.0 for name in self.master.worker_names}
+                self._load = {name: 0.0 for name in self.master.active_workers}
                 self._ensure_views(list(self._load))
             worker = self._earliest()
             self._load[worker] += self._cost(job, worker, self._is_local(job, worker))

@@ -83,11 +83,13 @@ class MasterPolicy:
         but must receive no new work.  Default: nothing."""
 
     def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
-        """Fault-tolerance hook: reallocate orphans.  Default: the paper's
-        behaviour -- nothing happens and the workflow hangs; the engine
-        only calls this when fault tolerance is enabled."""
-        for job in orphaned:
-            self.on_job(job)
+        """A worker died mid-run.  *Bookkeeping only*: drop the worker
+        from any cached fleet view or placement plan and abort contests
+        it participates in.  The master owns orphan re-dispatch (retry
+        budget + backoff) and calls this before re-dispatching, so
+        policies must NOT resubmit the orphans themselves.  Default:
+        nothing -- correct for policies that consult
+        ``master.active_workers`` on every decision."""
 
 
 class WorkerPolicy:

@@ -101,6 +101,13 @@ class BaselineMasterPolicy(MasterPolicy):
             return True
         return False
 
+    def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
+        """Forget the dead worker's parked pull; its orphans are
+        re-dispatched by the master and answer live pulls instead."""
+        self.parked_pulls = deque(
+            name for name in self.parked_pulls if name != worker
+        )
+
     def on_worker_retired(self, worker: str) -> None:
         """Scale-down: forget the retiring worker's parked pull so the
         long-poll can never hand it a job mid-drain."""

@@ -68,6 +68,11 @@ class DelayMasterPolicy(MasterPolicy):
             return True
         return False
 
+    def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
+        """Forget the dead worker's parked pull and its holdings."""
+        self.parked = deque(name for name in self.parked if name != worker)
+        self.holdings.pop(worker, None)
+
     def _local_for(self, worker: str, job: Job) -> bool:
         return job.repo_id is None or job.repo_id in self.holdings.get(worker, ())
 

@@ -77,6 +77,13 @@ class MatchmakingMasterPolicy(MasterPolicy):
             return True
         return False
 
+    def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
+        """Forget the dead worker's parked pull and its holdings (the
+        node's disk is gone; a restarted instance re-announces holdings
+        through future completions)."""
+        self.parked = deque(entry for entry in self.parked if entry[0] != worker)
+        self.holdings.pop(worker, None)
+
     def _local_for(self, worker: str, job: Job) -> bool:
         return job.repo_id is None or job.repo_id in self.holdings.get(worker, ())
 

@@ -50,6 +50,9 @@ class RoundRobinMasterPolicy(MasterPolicy):
     def on_worker_retired(self, worker: str) -> None:
         self._rebuild()
 
+    def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
+        self._rebuild()
+
     def on_job(self, job: Job) -> None:
         assert self._cycle is not None, "policy not started"
         self.master.assign(job, next(self._cycle))

@@ -113,6 +113,33 @@ class SparkMasterPolicy(MasterPolicy):
             enumerate(workers), key=lambda pair: (self._planned_counts[pair[1]], pair[0])
         )[1]
 
+    # -- fleet churn -----------------------------------------------------------
+
+    def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
+        """Drop the dead executor from the registration order and strip
+        plan entries targeting it, so re-dispatched and future jobs land
+        on live executors."""
+        if self._order is not None and worker in self._order:
+            self._order.remove(worker)
+        self._planned_counts.pop(worker, None)
+        for job_id, name in list(self._plan.items()):
+            if name == worker:
+                del self._plan[job_id]
+
+    def on_worker_joined(self, worker: str) -> None:
+        """A restarted (or scaled-up) executor registers with the driver.
+
+        It enters at the current maximum planned count -- Spark would
+        not rebalance the existing plan onto a late joiner, so only
+        re-dispatched/late jobs flow to it.
+        """
+        if self._order is not None and worker not in self._order:
+            self._order.append(worker)
+        if worker not in self._planned_counts:
+            self._planned_counts[worker] = max(
+                self._planned_counts.values(), default=0
+            )
+
     # -- arrival-time dispatch --------------------------------------------------
 
     def on_job(self, job: Job) -> None:

@@ -116,9 +116,18 @@ class Autoscaler:
             self._evaluate(sim.now)
 
     def _evaluate(self, now: float) -> None:
+        active = len(self.service.master.active_workers)
+        if active < self.config.min_workers:
+            # Crashed capacity replacement: the pool fell below its
+            # floor, which only faults can cause.  Replace immediately,
+            # bypassing the cooldown -- waiting out a flap timer while
+            # under-provisioned only deepens the backlog.
+            self.service.scale_up()
+            self.scale_ups += 1
+            self._last_action_at = now
+            return
         if now - self._last_action_at < self.config.cooldown_s:
             return
-        active = len(self.service.master.active_workers)
         signal = self.backlog_per_worker()
         if signal >= self.config.scale_up_backlog and active < self.config.max_workers:
             self.service.scale_up()

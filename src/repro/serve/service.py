@@ -34,8 +34,15 @@ from typing import Optional
 
 from repro.cluster.profiles import WorkerProfile
 from repro.engine.master import Master
-from repro.engine.runtime import EngineConfig, build_worker_node, single_task_pipeline
+from repro.engine.runtime import (
+    EngineConfig,
+    build_worker_node,
+    restart_worker,
+    single_task_pipeline,
+)
 from repro.engine.worker import WorkerNode
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.net.bandwidth import FairSharePipe
 from repro.net.topology import Topology
@@ -94,6 +101,7 @@ class ServiceRuntime:
         autoscaler_config: Optional[AutoscalerConfig] = None,
         service_config: Optional[ServiceConfig] = None,
         config: Optional[EngineConfig] = None,
+        faults: Optional[FaultPlan] = None,
     ) -> None:
         self.profile = profile
         self.scheduler = scheduler
@@ -101,6 +109,8 @@ class ServiceRuntime:
         self.source = source if source is not None else SyntheticJobSource()
         self.config = config or EngineConfig()
         self.service_config = service_config or ServiceConfig()
+        self.faults = faults
+        self.injector_faults: Optional[FaultInjector] = None
 
         # The "service" salt keeps service streams decorrelated from a
         # workflow run sharing the same master seed.
@@ -153,6 +163,7 @@ class ServiceRuntime:
             metrics=self.metrics,
             rng=streams.get("master"),
             fault_tolerance=self.config.fault_tolerance,
+            recovery=faults.recovery if faults is not None else None,
         )
         if hasattr(self._master_policy, "cache_view"):
             self._master_policy.cache_view = {
@@ -170,6 +181,7 @@ class ServiceRuntime:
                 for spec in profile.specs
             }
         self.master.completion_listeners.append(self._on_completion)
+        self.master.failure_listeners.append(self._on_failure)
 
         self.autoscaler = (
             Autoscaler(self, autoscaler_config) if autoscaler_config is not None else None
@@ -197,6 +209,19 @@ class ServiceRuntime:
         self.master.start()
         for worker in self.workers.values():
             worker.start()
+        if self.faults is not None and not self.faults.is_trivial:
+            self.injector_faults = FaultInjector(
+                sim=self.sim,
+                plan=self.faults,
+                rng=self._streams.get("faults"),
+                workers=self.workers,
+                master=self.master,
+                broker=self.topology.broker,
+                metrics=self.metrics,
+                restart=lambda name: restart_worker(self, name),
+                loss_rng=self._streams.get("faults", "loss"),
+            )
+            self.injector_faults.start()
         self.sim.process(self._injector(), name="service-injector")
         self.sim.process(self._dispatcher(), name="service-dispatcher")
         if self.autoscaler is not None:
@@ -284,6 +309,15 @@ class ServiceRuntime:
         self._finalize_drains()
         self._kick_dispatcher()
 
+    def _on_failure(self, job, worker, now, reason) -> None:
+        # A permanently failed job must release its dispatcher slot, or
+        # the intake never closes (conservation: completed + failed ==
+        # admitted).
+        self.inflight -= 1
+        self.slo.job_failed(now, job)
+        self._finalize_drains()
+        self._kick_dispatcher()
+
     # -- elasticity --------------------------------------------------------
 
     def scale_up(self) -> str:
@@ -360,6 +394,14 @@ class ServiceRuntime:
     def report(self) -> ServiceReport:
         """Freeze the run into a :class:`ServiceReport`."""
         metrics = self.metrics
+        recovery = sorted(metrics.recovery_times)
+
+        def percentile(q: float) -> float:
+            if not recovery:
+                return 0.0
+            index = min(len(recovery) - 1, int(q * len(recovery)))
+            return recovery[index]
+
         return ServiceReport(
             scheduler=self.scheduler.name,
             arrival=self.arrivals.kind,
@@ -386,4 +428,12 @@ class ServiceRuntime:
             data_load_mb=metrics.total_mb_downloaded,
             per_tenant_admitted=dict(self.admission.per_tenant_admitted),
             per_tenant_shed=dict(self.admission.per_tenant_shed),
+            failed=self.slo.failed,
+            crashes=metrics.workers_crashed,
+            restarts=metrics.workers_restarted,
+            redispatches=metrics.jobs_redispatched,
+            duplicates_suppressed=metrics.duplicates_suppressed,
+            recovery_p50_s=percentile(0.50),
+            recovery_p95_s=percentile(0.95),
+            recovery_max_s=recovery[-1] if recovery else 0.0,
         )

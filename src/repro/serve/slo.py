@@ -139,6 +139,7 @@ class SLOTracker:
         self.latency = LatencyStats()
         self.arrivals = 0
         self.completed = 0
+        self.failed = 0
         self.deadline_misses = 0
         self._arrived_at: dict[str, float] = {}
 
@@ -162,6 +163,11 @@ class SLOTracker:
         self.completed += 1
         if self.deadline_s is not None and latency > self.deadline_s:
             self.deadline_misses += 1
+
+    def job_failed(self, now: float, job: Job) -> None:
+        """The job was declared permanently failed (fault path)."""
+        self._arrived_at.pop(job.job_id, None)
+        self.failed += 1
 
 
 @dataclass(frozen=True)
@@ -193,6 +199,15 @@ class ServiceReport:
     data_load_mb: float
     per_tenant_admitted: dict[str, int] = field(default_factory=dict)
     per_tenant_shed: dict[str, int] = field(default_factory=dict)
+    # Resilience counters (robustness extension; zero in healthy runs).
+    failed: int = 0
+    crashes: int = 0
+    restarts: int = 0
+    redispatches: int = 0
+    duplicates_suppressed: int = 0
+    recovery_p50_s: float = 0.0
+    recovery_p95_s: float = 0.0
+    recovery_max_s: float = 0.0
 
     @property
     def shed_rate(self) -> float:
@@ -234,4 +249,12 @@ class ServiceReport:
             "data_load_mb": self.data_load_mb,
             "per_tenant_admitted": dict(self.per_tenant_admitted),
             "per_tenant_shed": dict(self.per_tenant_shed),
+            "failed": self.failed,
+            "crashes": self.crashes,
+            "restarts": self.restarts,
+            "redispatches": self.redispatches,
+            "duplicates_suppressed": self.duplicates_suppressed,
+            "recovery_p50_s": self.recovery_p50_s,
+            "recovery_p95_s": self.recovery_p95_s,
+            "recovery_max_s": self.recovery_max_s,
         }

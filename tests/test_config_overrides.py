@@ -1,0 +1,86 @@
+"""The unified override pathway: routing, aliases, deprecation shims."""
+
+import pytest
+
+from repro.config import (
+    DEPRECATED_ALIASES,
+    apply_overrides,
+    canonicalize,
+    resolve_overrides,
+)
+from repro.engine.runtime import EngineConfig
+from repro.experiments.runner import CellSpec
+from repro.serve import AdmissionConfig, ServiceConfig
+
+
+class TestCanonicalize:
+    def test_plain_keys_pass_through(self):
+        assert canonicalize({"seed": 3}) == {"seed": 3}
+
+    @pytest.mark.parametrize("alias,canonical", sorted(DEPRECATED_ALIASES.items()))
+    def test_aliases_rewrite_with_warning(self, alias, canonical):
+        with pytest.warns(DeprecationWarning, match=alias):
+            assert canonicalize({alias: 7}) == {canonical: 7}
+
+    def test_alias_plus_replacement_is_ambiguous(self):
+        with pytest.warns(DeprecationWarning):
+            with pytest.raises(TypeError, match="both"):
+                canonicalize({"duration": 1.0, "duration_s": 2.0})
+
+    def test_fault_tolerance_soft_deprecation_passes_through(self):
+        with pytest.warns(DeprecationWarning, match="FaultPlan"):
+            assert canonicalize({"fault_tolerance": True}) == {"fault_tolerance": True}
+
+
+class TestResolveOverrides:
+    def test_routes_by_first_declaring_target(self):
+        service_kw, admission_kw, engine_kw = resolve_overrides(
+            {"duration_s": 60.0, "queue_cap": 8, "message_loss": 0.1},
+            ServiceConfig,
+            AdmissionConfig,
+            EngineConfig,
+        )
+        assert service_kw == {"duration_s": 60.0}
+        assert admission_kw == {"queue_cap": 8}
+        assert engine_kw == {"message_loss": 0.1}
+
+    def test_aliases_route_to_their_canonical_home(self):
+        with pytest.warns(DeprecationWarning):
+            service_kw, admission_kw = resolve_overrides(
+                {"deadline": 30.0, "max_inflight": 2}, ServiceConfig, AdmissionConfig
+            )
+        assert service_kw == {"deadline_s": 30.0, "max_inflight_per_worker": 2}
+        assert admission_kw == {}
+
+    def test_unknown_key_raises_listing_accepted(self):
+        with pytest.raises(TypeError, match="duration_s"):
+            resolve_overrides({"durashun": 1.0}, ServiceConfig)
+
+    def test_needs_a_target(self):
+        with pytest.raises(TypeError, match="at least one target"):
+            resolve_overrides({"seed": 1})
+
+
+class TestApplyOverrides:
+    def test_replaces_fields(self):
+        config = apply_overrides(EngineConfig(seed=1), {"message_loss": 0.2})
+        assert config.seed == 1
+        assert config.message_loss == 0.2
+
+    def test_no_overrides_returns_same_instance(self):
+        config = EngineConfig(seed=1)
+        assert apply_overrides(config, {}) is config
+
+    def test_cellspec_engine_overrides_apply_with_alias(self):
+        spec = CellSpec(
+            scheduler="bidding",
+            workload="80%_large",
+            profile="all-equal",
+            seed=5,
+            engine_overrides=(("loss", 0.05), ("max_sim_time", 99.0)),
+        )
+        with pytest.warns(DeprecationWarning, match="loss"):
+            config = spec.engine_config()
+        assert config.message_loss == 0.05
+        assert config.max_sim_time == 99.0
+        assert config.seed == 5

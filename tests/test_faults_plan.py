@@ -1,0 +1,119 @@
+"""FaultPlan validation and dict/JSON round-tripping."""
+
+import json
+
+import pytest
+
+from repro.faults import (
+    CrashRenewal,
+    FaultPlan,
+    LinkDegradation,
+    MessageLoss,
+    NetworkPartition,
+    RecoveryConfig,
+    WorkerCrash,
+)
+
+pytestmark = pytest.mark.faults
+
+
+class TestScheduleValidation:
+    def test_crash_requires_nonnegative_time(self):
+        with pytest.raises(ValueError, match="at_s"):
+            WorkerCrash(at_s=-1.0)
+
+    def test_crash_restart_delay_must_be_positive(self):
+        with pytest.raises(ValueError, match="restart_after_s"):
+            WorkerCrash(at_s=1.0, restart_after_s=0.0)
+
+    def test_renewal_requires_positive_mtbf(self):
+        with pytest.raises(ValueError, match="mtbf_s"):
+            CrashRenewal(mtbf_s=0.0)
+
+    def test_renewal_window_must_be_ordered(self):
+        with pytest.raises(ValueError, match="end_s"):
+            CrashRenewal(mtbf_s=10.0, start_s=5.0, end_s=5.0)
+
+    def test_degradation_must_do_something(self):
+        with pytest.raises(ValueError, match="cut bandwidth or add latency"):
+            LinkDegradation(start_s=0.0, end_s=10.0)
+
+    def test_degradation_bandwidth_factor_range(self):
+        with pytest.raises(ValueError, match="bandwidth_factor"):
+            LinkDegradation(start_s=0.0, end_s=10.0, bandwidth_factor=1.5)
+        # Factor 1.0 with extra latency is a pure-latency window: valid.
+        LinkDegradation(start_s=0.0, end_s=10.0, extra_latency_s=0.5)
+
+    def test_partition_needs_a_group(self):
+        with pytest.raises(ValueError, match="group"):
+            NetworkPartition(start_s=0.0, end_s=10.0, group=())
+
+    def test_message_loss_probability_range(self):
+        with pytest.raises(ValueError, match="probability"):
+            MessageLoss(start_s=0.0, end_s=10.0, probability=1.0)
+
+    def test_recovery_budget_nonnegative(self):
+        with pytest.raises(ValueError, match="max_redispatches"):
+            RecoveryConfig(max_redispatches=-1)
+
+    def test_recovery_backoff_factor_at_least_one(self):
+        with pytest.raises(ValueError, match="backoff_factor"):
+            RecoveryConfig(backoff_factor=0.5)
+
+
+class TestPlanComposition:
+    def test_entries_are_type_checked(self):
+        with pytest.raises(TypeError, match="crashes"):
+            FaultPlan(crashes=(CrashRenewal(mtbf_s=10.0),))
+
+    def test_lists_coerce_to_tuples(self):
+        plan = FaultPlan(crashes=[WorkerCrash(at_s=1.0)])
+        assert isinstance(plan.crashes, tuple)
+
+    def test_trivial_plan_schedules_nothing(self):
+        assert FaultPlan().is_trivial
+        assert FaultPlan(recovery=None).is_trivial
+        assert not FaultPlan(crashes=(WorkerCrash(at_s=1.0),)).is_trivial
+
+    def test_recovery_must_be_config_or_none(self):
+        with pytest.raises(TypeError, match="recovery"):
+            FaultPlan(recovery={"max_redispatches": 2})
+
+
+def full_plan():
+    return FaultPlan(
+        crashes=(WorkerCrash(at_s=5.0, worker="w1", restart_after_s=10.0),),
+        renewals=(CrashRenewal(mtbf_s=100.0, mttr_s=20.0, targets=("w2",)),),
+        degradations=(LinkDegradation(start_s=1.0, end_s=9.0, bandwidth_factor=0.5),),
+        partitions=(NetworkPartition(start_s=2.0, end_s=4.0, group=("w1",)),),
+        message_loss=(MessageLoss(start_s=0.0, end_s=3.0, probability=0.2),),
+        recovery=RecoveryConfig(max_redispatches=5, redispatch_timeout_s=60.0),
+        restart_keeps_cache=False,
+    )
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_is_identity(self):
+        plan = full_plan()
+        assert FaultPlan.from_dict(plan.to_dict()) == plan
+
+    def test_json_round_trip_is_identity(self):
+        plan = full_plan()
+        assert FaultPlan.from_dict(json.loads(json.dumps(plan.to_dict()))) == plan
+
+    def test_recovery_none_round_trips_as_none(self):
+        plan = FaultPlan(crashes=(WorkerCrash(at_s=1.0),), recovery=None)
+        rebuilt = FaultPlan.from_dict(plan.to_dict())
+        assert rebuilt.recovery is None
+        assert rebuilt == plan
+
+    def test_missing_sections_default_empty(self):
+        plan = FaultPlan.from_dict({"crashes": [{"at_s": 3.0}]})
+        assert plan.crashes == (WorkerCrash(at_s=3.0),)
+        assert plan.renewals == ()
+        # Omitted recovery means the default budget, matching FaultPlan().
+        assert plan.recovery == RecoveryConfig()
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown FaultPlan keys"):
+            FaultPlan.from_dict({"crashez": []})
