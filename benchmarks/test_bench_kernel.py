@@ -9,7 +9,7 @@ import numpy as np
 
 from repro.net.bandwidth import FairSharePipe
 from repro.net.broker import Broker
-from repro.sim import Simulator, Store
+from repro.sim import Simulator, Store, TimerHandle
 from repro.experiments.runner import CellSpec, run_cell
 
 
@@ -25,6 +25,30 @@ def test_bench_kernel_timeout_throughput(benchmark):
 
     result = benchmark.pedantic(run, rounds=3, iterations=1)
     assert result > 0
+
+
+def test_bench_timer_handle_churn(benchmark):
+    """20k direct-callback timer arm/re-arm/fire cycles on one handle."""
+
+    def run():
+        sim = Simulator()
+        fired = [0]
+        handle = TimerHandle()
+
+        def tick():
+            fired[0] += 1
+            if fired[0] < 20_000:
+                # Re-arm twice: the first occurrence goes stale and must
+                # be skipped by the generation check (the lazy-deletion
+                # hot path of the fluid network model).
+                sim.call_later(0.001, tick, handle=handle)
+                sim.call_later(0.002, tick, handle=handle)
+
+        sim.call_later(0.001, tick, handle=handle)
+        sim.run()
+        return fired[0]
+
+    assert benchmark.pedantic(run, rounds=3, iterations=1) == 20_000
 
 
 def test_bench_kernel_process_pingpong(benchmark):

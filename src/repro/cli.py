@@ -13,9 +13,12 @@ Subcommands map one-to-one onto the experiment modules::
     repro serve --scheduler bidding --arrival poisson --rate 2.0 --duration 600
                                # open-loop service run with SLO summary
     repro faults               # degradation sweep: makespan vs crash rate
+    repro bench                # kernel/network hot-path benchmarks -> BENCH.json
 
 ``run`` and ``serve`` accept ``--faults`` with an inline JSON
-:class:`~repro.faults.FaultPlan` or ``@path/to/plan.json``.
+:class:`~repro.faults.FaultPlan` or ``@path/to/plan.json``.  ``run`` and
+``bench`` accept ``--profile-hot [N]`` to wrap the run in cProfile and
+print the top N functions by cumulative time.
 
 ``--parallel N`` fans independent simulation cells across N processes
 where the experiment supports it.
@@ -65,6 +68,38 @@ def _add_faults_flag(cmd: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_flag(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--profile-hot",
+        dest="profile_hot",
+        metavar="N",
+        nargs="?",
+        type=int,
+        const=25,
+        default=None,
+        help="run under cProfile and print the top N functions (default 25)",
+    )
+
+
+def _maybe_profiled(args: argparse.Namespace, fn):
+    """Run ``fn`` -- under cProfile with a cumulative-time report when
+    ``--profile-hot`` was given -- and return its result."""
+    top = getattr(args, "profile_hot", None)
+    if top is None:
+        return fn()
+    import cProfile
+    import pstats
+
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        return fn()
+    finally:
+        profiler.disable()
+        stats = pstats.Stats(profiler, stream=sys.stdout)
+        stats.strip_dirs().sort_stats("cumulative").print_stats(top)
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -112,6 +147,31 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report permanently failed jobs instead of erroring out",
     )
+    _add_profile_flag(run)
+
+    bench = sub.add_parser(
+        "bench", help="kernel/network hot-path benchmarks; writes BENCH.json"
+    )
+    bench.add_argument("--out", default="BENCH.json", help="benchmark report path")
+    bench.add_argument(
+        "--quick", action="store_true", help="~5x smaller workloads (CI mode)"
+    )
+    bench.add_argument(
+        "--repeats", type=int, default=3, help="runs per benchmark (best is kept)"
+    )
+    bench.add_argument(
+        "--check",
+        metavar="BASELINE.json",
+        default=None,
+        help="fail when kernel timeout throughput regresses vs this baseline",
+    )
+    bench.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.10,
+        help="allowed fractional throughput regression for --check (default 0.10)",
+    )
+    _add_profile_flag(bench)
 
     faults = sub.add_parser(
         "faults", help="degradation sweep: scheduler makespan under rising crash rates"
@@ -336,7 +396,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
             runner()
     elif args.command == "run":
-        _run_single(args)
+        _maybe_profiled(args, lambda: _run_single(args))
+    elif args.command == "bench":
+        from repro.experiments import bench as bench_mod
+
+        return _maybe_profiled(
+            args,
+            lambda: bench_mod.main(
+                out=args.out,
+                quick=args.quick,
+                repeats=args.repeats,
+                check=args.check,
+                tolerance=args.tolerance,
+            ),
+        )
     elif args.command == "serve":
         _run_serve(args)
     elif args.command == "faults":

@@ -133,7 +133,7 @@ class Machine:
         factor = self.rw_noise.factor(self.rng, self.sim.now)
         realised_rw = self.spec.rw_mbps * max(factor, 1e-9)
         duration = base_compute_s / self.spec.cpu_factor + size_mb / realised_rw
-        yield self.sim.timeout(duration)
+        yield self.sim.sleep(duration)
         self.busy_seconds += self.sim.now - start
         if size_mb > 0 and duration > 0:
             self.record_rw_sample(size_mb / duration)

@@ -148,7 +148,7 @@ class BiddingMasterPolicy(MasterPolicy):
             if not master.active_workers:
                 # Robustness: the whole fleet is momentarily down (crash
                 # storm before restarts land).  Park the job and retry.
-                yield master.sim.timeout(self.window_s)
+                yield master.sim.sleep(self.window_s)
                 self._pending.put(job)
                 continue
             contest = Contest(master.sim, job, list(master.active_workers))
@@ -252,7 +252,7 @@ class BiddingWorkerPolicy(WorkerPolicy):
                 # cannot stall the window-close condition.
                 continue
             if self.bid_compute_s > 0:
-                yield worker.sim.timeout(self.bid_compute_s / worker.spec.cpu_factor)
+                yield worker.sim.sleep(self.bid_compute_s / worker.spec.cpu_factor)
                 if not worker.alive:
                     # Killed while computing the bid: the contest has (or
                     # will) exclude us, so stay silent and shut down.

@@ -137,6 +137,9 @@ class Master:
         #: job_id -> (job, worker, assigned_at) for in-flight assignments;
         #: feeds orphan recovery and the straggler monitor.
         self._assigned_at: dict[str, tuple[Job, str, float]] = {}
+        #: Re-armed straggler-scan timer (set in :meth:`start` when the
+        #: recovery policy enables a re-dispatch timeout).
+        self._straggler_timer = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -151,7 +154,11 @@ class Master:
             self.sim.process(self._intake(), name="master-intake")
         self.sim.process(self._main_loop(), name="master-main")
         if self.recovery is not None and self.recovery.redispatch_timeout_s is not None:
-            self.sim.process(self._straggler_monitor(), name="master-stragglers")
+            # Direct-callback timer: the monitor re-arms itself each tick
+            # instead of living as a perpetual generator process.
+            self._straggler_timer = self.sim.call_later(
+                self.recovery.redispatch_timeout_s / 2, self._straggler_tick
+            )
 
     # -- helpers the policies drive --------------------------------------------
 
@@ -262,7 +269,7 @@ class Master:
         for arrival in self.stream:
             delay = arrival.at - self.sim.now
             if delay > 0:
-                yield self.sim.timeout(delay)
+                yield self.sim.sleep(delay)
             self.submit(arrival.job)
         self.finish_intake()
 
@@ -386,13 +393,13 @@ class Master:
         if delay <= 0:
             self.policy.on_job(job)
             return
+        self.sim.call_later(delay, self._redispatch_if_unresolved, job)
 
-        def redispatch(_event, job=job):
-            if job.job_id in self._completed_ids or job.job_id in self.failed_jobs:
-                return
-            self.policy.on_job(job)
-
-        self.sim.timeout(delay).add_callback(redispatch)
+    def _redispatch_if_unresolved(self, job: Job) -> None:
+        """Backoff-timer callback: hand the orphan back to the policy."""
+        if job.job_id in self._completed_ids or job.job_id in self.failed_jobs:
+            return
+        self.policy.on_job(job)
 
     def _fail_job(self, job: Job, worker: Optional[str], reason: str) -> None:
         """Declare ``job`` permanently failed and release its slot."""
@@ -406,25 +413,25 @@ class Master:
             listener(job, worker, self.sim.now, reason)
         self._check_done()
 
-    def _straggler_monitor(self):
+    def _straggler_tick(self) -> None:
         """Re-dispatch assignments outstanding past the timeout.
 
         This is the path that can create genuine duplicates (the slow
         original may still finish) -- which the at-most-once guard in
-        :meth:`_on_completed` absorbs.
+        :meth:`_on_completed` absorbs.  Runs on a self-re-arming
+        :class:`~repro.sim.kernel.TimerHandle` every half timeout.
         """
         timeout = self.recovery.redispatch_timeout_s
-        while True:
-            yield self.sim.timeout(timeout / 2)
-            now = self.sim.now
-            overdue = [
-                (job, worker)
-                for job, worker, at in list(self._assigned_at.values())
-                if now - at >= timeout
-            ]
-            for job, worker in overdue:
-                self.metrics.job_orphaned(now, job, worker)
-                self._recover_orphan(job, worker)
+        now = self.sim.now
+        overdue = [
+            (job, worker)
+            for job, worker, at in list(self._assigned_at.values())
+            if now - at >= timeout
+        ]
+        for job, worker in overdue:
+            self.metrics.job_orphaned(now, job, worker)
+            self._recover_orphan(job, worker)
+        self.sim.call_later(timeout / 2, self._straggler_tick, handle=self._straggler_timer)
 
     def _check_done(self) -> None:
         if self.intake_done and self.outstanding == 0 and not self.done.triggered:

@@ -286,7 +286,7 @@ class WorkerNode:
             # priority) register its link request first, so the priority
             # ordering on the link mutex can actually take effect.
             try:
-                yield self.sim.timeout(0.0)
+                yield self.sim.sleep(0.0)
             except Interrupt:
                 return
             target = self._next_prefetch_target()

@@ -1,0 +1,318 @@
+"""Performance benchmark harness: ``repro bench``.
+
+Measures the hot paths the kernel overhaul targets and writes a
+machine-readable ``BENCH.json`` so performance can be tracked across
+commits and gated in CI:
+
+* ``kernel_timeouts``   -- pooled-timeout event throughput (events/s),
+* ``timer_churn``       -- direct-callback timer arm/re-arm/cancel churn,
+* ``process_pingpong``  -- generator trampoline context switches,
+* ``pipe_churn``        -- fair-share pipe transfer starts+finishes (ops/s),
+* ``broker_fanout``     -- pub/sub message deliveries (deliveries/s),
+* ``full_cell``         -- one end-to-end :func:`run_cell` (wall seconds).
+
+Each benchmark reports the *best* of ``repeats`` runs (minimum wall
+time), the standard way to suppress scheduler and allocator noise in
+microbenchmarks.  ``--quick`` shrinks the workloads ~5x for CI;
+``--check BASELINE.json`` fails the run when kernel timeout throughput
+regresses more than ``--tolerance`` (default 10%) against a committed
+baseline.  Throughputs are only comparable between runs on the same
+hardware; the gate therefore compares quick-mode runs on the same CI
+runner class.
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import sys
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+SCHEMA_VERSION = 1
+
+#: The metric the CI regression gate watches (events/s, higher better).
+GATE_METRIC = "kernel_timeouts"
+
+
+@dataclass(frozen=True)
+class BenchResult:
+    """One benchmark's outcome: best wall time and derived throughput."""
+
+    name: str
+    #: Best (minimum) wall-clock seconds over all repeats.
+    wall_s: float
+    #: Operations performed in one run (events, transfers, deliveries...).
+    ops: int
+    #: Throughput unit label, e.g. ``"events/s"``; ``"s"`` for wall-time
+    #: benchmarks where lower is better and no rate is meaningful.
+    unit: str
+    repeats: int
+
+    @property
+    def rate(self) -> float:
+        """Operations per second (0 for pure wall-time benchmarks)."""
+        if self.unit == "s" or self.wall_s <= 0:
+            return 0.0
+        return self.ops / self.wall_s
+
+    def to_dict(self) -> dict:
+        return {
+            "wall_s": self.wall_s,
+            "ops": self.ops,
+            "unit": self.unit,
+            "repeats": self.repeats,
+            "rate": self.rate,
+        }
+
+
+def _time_best(fn: Callable[[], int], repeats: int) -> tuple[float, int]:
+    """Best wall time of ``fn`` over ``repeats`` runs; fn returns op count."""
+    best = float("inf")
+    ops = 0
+    for _ in range(repeats):
+        start = time.perf_counter()
+        ops = fn()
+        elapsed = time.perf_counter() - start
+        if elapsed < best:
+            best = elapsed
+    return best, ops
+
+
+# -- individual benchmarks ------------------------------------------------
+
+
+def _bench_kernel_timeouts(n: int) -> int:
+    """One process yielding ``n`` pooled sleeps: the kernel's inner loop."""
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator()
+
+    def proc():
+        sleep = sim.sleep
+        for _ in range(n):
+            yield sleep(0.001)
+
+    sim.process(proc())
+    sim.run()
+    return n
+
+
+def _bench_timer_churn(n: int) -> int:
+    """Arm, re-arm and cancel direct-callback timers ``n`` times."""
+    from repro.sim.kernel import Simulator, TimerHandle
+
+    sim = Simulator()
+    fired = [0]
+
+    def tick():
+        fired[0] += 1
+
+    handle = TimerHandle()
+    for i in range(n):
+        sim.call_at(sim.now + 0.001 * (i + 1), tick, handle=handle)
+        if i % 3 == 0:
+            # Re-arm immediately: the previous occurrence goes stale in
+            # the heap and must be skipped by the generation check.
+            sim.call_at(sim.now + 0.002 * (i + 1), tick, handle=handle)
+        if i % 7 == 0:
+            handle.cancel()
+            sim.call_at(sim.now + 0.001, tick, handle=handle)
+        sim.run()
+    return n
+
+
+def _bench_process_pingpong(n: int) -> int:
+    """Two processes exchanging ``n`` items through a pair of stores."""
+    from repro.sim import Simulator, Store
+
+    sim = Simulator()
+    ping, pong = Store(sim), Store(sim)
+
+    def left():
+        for i in range(n):
+            yield ping.put(i)
+            yield pong.get()
+
+    def right():
+        for _ in range(n):
+            value = yield ping.get()
+            yield pong.put(value)
+
+    sim.process(left())
+    sim.process(right())
+    sim.run()
+    return 2 * n
+
+
+def _bench_pipe_churn(n: int) -> int:
+    """Staggered fair-share transfers: start/finish churn on one pipe."""
+    from repro.net.bandwidth import FairSharePipe
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator()
+    pipe = FairSharePipe(sim, capacity_mbps=100.0)
+
+    def spawn(i):
+        def proc():
+            yield sim.sleep(i * 0.01)
+            yield pipe.transfer(5.0 + (i % 7))
+
+        return proc
+
+    for i in range(n):
+        sim.process(spawn(i)())
+    sim.run()
+    return 2 * n  # each transfer is one start and one finish event
+
+
+def _bench_broker_fanout(publishes: int, subscribers: int) -> int:
+    """Batched pub/sub delivery throughput."""
+    from repro.net.broker import Broker
+    from repro.sim.kernel import Simulator
+
+    sim = Simulator()
+    broker = Broker(sim, base_latency=0.001)
+    for i in range(subscribers):
+        broker.subscribe("bench", f"sub-{i}")
+
+    def pub():
+        for i in range(publishes):
+            broker.publish("bench", {"seq": i})
+            yield sim.sleep(0.0001)
+
+    sim.process(pub())
+    sim.run()
+    return publishes * subscribers
+
+
+def _bench_full_cell() -> int:
+    """One end-to-end experiment cell (the macro benchmark)."""
+    from repro.experiments.runner import CellSpec, run_cell
+
+    results = run_cell(
+        CellSpec(
+            scheduler="bidding",
+            workload="80%_large",
+            profile="fast-slow",
+            seed=11,
+            iterations=1,
+        )
+    )
+    return sum(r.jobs_completed for r in results)
+
+
+# -- harness --------------------------------------------------------------
+
+
+def run_benchmarks(quick: bool = False, repeats: int = 3) -> list[BenchResult]:
+    """Run the full suite; ``quick`` shrinks workloads ~5x for CI."""
+    scale = 1 if not quick else 5
+    suite: list[tuple[str, str, Callable[[], int]]] = [
+        (
+            "kernel_timeouts",
+            "events/s",
+            lambda: _bench_kernel_timeouts(50_000 // scale),
+        ),
+        ("timer_churn", "timers/s", lambda: _bench_timer_churn(20_000 // scale)),
+        (
+            "process_pingpong",
+            "switches/s",
+            lambda: _bench_process_pingpong(20_000 // scale),
+        ),
+        ("pipe_churn", "ops/s", lambda: _bench_pipe_churn(2_000 // scale)),
+        (
+            "broker_fanout",
+            "deliveries/s",
+            lambda: _bench_broker_fanout(10_000 // scale, 20),
+        ),
+        ("full_cell", "s", _bench_full_cell),
+    ]
+    results = []
+    for name, unit, fn in suite:
+        wall, ops = _time_best(fn, repeats)
+        results.append(
+            BenchResult(name=name, wall_s=wall, ops=ops, unit=unit, repeats=repeats)
+        )
+    return results
+
+
+def to_report(results: list[BenchResult], quick: bool) -> dict:
+    """The BENCH.json document for a benchmark run."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "quick": quick,
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "results": {r.name: r.to_dict() for r in results},
+    }
+
+
+def check_regression(
+    report: dict, baseline_path: str, tolerance: float = 0.10
+) -> Optional[str]:
+    """Compare kernel timeout throughput against a committed baseline.
+
+    Returns an error string when throughput fell more than ``tolerance``
+    below the baseline, ``None`` otherwise.  Only :data:`GATE_METRIC` is
+    gated -- the macro benchmarks are too machine-sensitive to block CI.
+    """
+    with open(baseline_path, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    base = baseline.get("results", {}).get(GATE_METRIC)
+    current = report.get("results", {}).get(GATE_METRIC)
+    if base is None or current is None:
+        return f"baseline or current report lacks the {GATE_METRIC!r} result"
+    base_rate = base["rate"]
+    current_rate = current["rate"]
+    floor = base_rate * (1.0 - tolerance)
+    if current_rate < floor:
+        return (
+            f"{GATE_METRIC} regressed: {current_rate:,.0f} events/s vs baseline "
+            f"{base_rate:,.0f} (floor {floor:,.0f} at {tolerance:.0%} tolerance)"
+        )
+    return None
+
+
+def format_results(results: list[BenchResult]) -> str:
+    """Human-readable summary table."""
+    from repro.metrics.report import format_table
+
+    rows = []
+    for r in results:
+        if r.unit == "s":
+            value = f"{r.wall_s:.3f} s"
+        else:
+            value = f"{r.rate:,.0f} {r.unit}"
+        rows.append([r.name, value, f"{r.wall_s * 1000:.1f}", str(r.repeats)])
+    return format_table(
+        ["benchmark", "throughput", "best wall [ms]", "repeats"],
+        rows,
+        title="kernel / network hot-path benchmarks",
+    )
+
+
+def main(
+    out: str = "BENCH.json",
+    quick: bool = False,
+    repeats: int = 3,
+    check: Optional[str] = None,
+    tolerance: float = 0.10,
+) -> int:
+    """Run the suite, write ``out``, optionally gate against a baseline."""
+    results = run_benchmarks(quick=quick, repeats=repeats)
+    print(format_results(results))
+    report = to_report(results, quick=quick)
+    with open(out, "w", encoding="utf-8") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+    print(f"benchmark report written to {out}")
+    if check is not None:
+        error = check_regression(report, check, tolerance=tolerance)
+        if error is not None:
+            print(f"FAIL: {error}", file=sys.stderr)
+            return 1
+        gated = report["results"][GATE_METRIC]["rate"]
+        print(f"OK: {GATE_METRIC} at {gated:,.0f} events/s within tolerance")
+    return 0

@@ -15,23 +15,29 @@ pipe of capacity 1 transfer.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Optional
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.sim.events import Event
-from repro.sim.process import Interrupt, Process
+from repro.sim.kernel import TimerHandle
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulator
 
 
 class _Transfer:
-    """Book-keeping for one in-flight transfer."""
+    """Book-keeping for one in-flight transfer.
 
-    __slots__ = ("size_mb", "remaining_mb", "done", "started_at")
+    Residual megabytes live in the pipe's parallel ``_rem`` array (same
+    index as the transfer's slot in ``_active``) so the per-event drain
+    is one vectorised subtraction rather than a Python loop.
+    """
+
+    __slots__ = ("size_mb", "done", "started_at")
 
     def __init__(self, size_mb: float, done: Event, now: float) -> None:
         self.size_mb = size_mb
-        self.remaining_mb = size_mb
         self.done = done
         self.started_at = now
 
@@ -54,8 +60,16 @@ class FairSharePipe:
         self.sim = sim
         self.capacity_mbps = float(capacity_mbps)
         self._active: list[_Transfer] = []
+        #: Residual MB of each in-flight transfer, parallel to ``_active``.
+        #: float64 arithmetic is bit-identical to Python-float arithmetic
+        #: (both IEEE 754 double), so vectorising the drain preserves the
+        #: fixed-seed determinism contract exactly.
+        self._rem: np.ndarray = np.empty(0, dtype=np.float64)
         self._last_settle = sim.now
-        self._timer: Optional[Process] = None
+        #: One re-armed completion timer for the whole pipe.  Every
+        #: transfer start/finish re-settles the fluid model and re-arms
+        #: this handle in place -- no Process/Timeout churn per event.
+        self._timer = TimerHandle()
 
     # -- public API ------------------------------------------------------
 
@@ -82,63 +96,72 @@ class FairSharePipe:
         done = Event(self.sim)
         if size_mb == 0:
             return done.succeed(0.0)
+        # Drain in-flight progress *before* appending, so the new
+        # transfer is excluded from the elapsed interval.
         self._settle()
         self._active.append(_Transfer(size_mb, done, self.sim.now))
+        self._rem = np.append(self._rem, size_mb)
         self._reschedule()
         return done
 
     # -- fluid-model internals -------------------------------------------
 
     def _settle(self) -> None:
-        """Advance every in-flight transfer's progress to ``sim.now``."""
+        """Advance every in-flight transfer's progress to ``sim.now``.
+
+        One vectorised subtract + clamp over the residual array; the
+        float64 ops are bit-identical to the per-transfer Python-float
+        arithmetic they replace.  Completion is handled in
+        :meth:`_reschedule`.
+        """
         now = self.sim.now
         elapsed = now - self._last_settle
         self._last_settle = now
         if elapsed <= 0 or not self._active:
             return
         rate = self.capacity_mbps / len(self._active)
-        drained = rate * elapsed
-        for transfer in self._active:
-            transfer.remaining_mb -= drained
-            # Guard against float drift; completion handled in _reschedule.
-            if transfer.remaining_mb < 0:
-                transfer.remaining_mb = 0.0
+        rem = self._rem
+        rem -= rate * elapsed
+        # Guard against float drift: clamp negatives to zero.
+        np.maximum(rem, 0.0, out=rem)
 
     def _reschedule(self) -> None:
-        """(Re)arm the completion timer for the next finishing transfer."""
-        if self._timer is not None and self._timer.is_alive:
-            self._timer.interrupt()
-        self._timer = None
+        """Complete drained transfers and (re)arm the next-completion timer.
+
+        Finished transfers complete in start order (the residual array is
+        kept in start order, preserving the pre-existing tie-break);
+        re-arming the single :class:`~repro.sim.kernel.TimerHandle`
+        lazily invalidates the previously armed occurrence.
+        """
+        active = self._active
+        now = self.sim.now
         while True:
-            # Complete any transfer already drained to zero.
-            finished = [t for t in self._active if t.remaining_mb <= 1e-12]
-            if finished:
-                self._active = [t for t in self._active if t.remaining_mb > 1e-12]
-                for transfer in finished:
-                    transfer.done.succeed(self.sim.now - transfer.started_at)
-            if not self._active:
+            rem = self._rem
+            finished_idx = np.nonzero(rem <= 1e-12)[0]
+            if len(finished_idx):
+                for i in finished_idx:
+                    transfer = active[i]
+                    transfer.done.succeed(now - transfer.started_at)
+                # Deleting list slots back-to-front keeps surviving
+                # indices aligned with the compacted residual array.
+                for i in finished_idx[::-1]:
+                    del active[i]
+                self._rem = rem = np.delete(rem, finished_idx)
+            if not active:
+                self._timer.cancel()
                 return
-            rate = self.capacity_mbps / len(self._active)
-            min_remaining = min(t.remaining_mb for t in self._active)
+            min_remaining = float(rem.min())
+            rate = self.capacity_mbps / len(active)
             next_completion = min_remaining / rate
-            if self.sim.now + next_completion > self.sim.now:
+            when = now + next_completion
+            if when > now:
                 break
             # The residual is below the clock's float resolution at this
             # absolute time: the timer could never advance the clock and
             # would spin forever.  Finish the nearest transfer(s) now.
-            threshold = min_remaining * (1.0 + 1e-9)
-            for transfer in self._active:
-                if transfer.remaining_mb <= threshold:
-                    transfer.remaining_mb = 0.0
-        self._timer = self.sim.process(self._timer_proc(next_completion), name="pipe-timer")
+            rem[rem <= min_remaining * (1.0 + 1e-9)] = 0.0
+        self.sim.call_at(when, self._on_timer, handle=self._timer)
 
-    def _timer_proc(self, delay: float):
-        try:
-            yield self.sim.timeout(delay)
-        except Interrupt:
-            return
-        # Detach first: _reschedule would otherwise try to interrupt the
-        # very process that is running it.
-        self._timer = None
+    def _on_timer(self) -> None:
         self._settle()
         self._reschedule()

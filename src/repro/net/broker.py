@@ -180,15 +180,54 @@ class Broker:
         *reference* is delivered (messages are treated as immutable).
         ``reliable`` deliveries bypass the drop model.  ``sender`` names
         the publishing node for partition filtering.
+
+        Fan-out is batched: when neither partitions nor the drop model
+        can intercept deliveries, subscribers sharing the same total
+        latency are served by a single timer (one heap entry per
+        distinct delay instead of one per subscriber), and zero-latency
+        deliveries skip the timer entirely.
         """
         self.published += 1
-        count = 0
-        for subscription in self._topics.get(topic, ()):
+        subscriptions = self._topics.get(topic, ())
+        if not subscriptions:
+            return 0
+        if self._partitions or (not reliable and self.drop_probability > 0):
+            # Degraded-broker path: per-delivery filtering required.
+            delivered = 0
+            for subscription in subscriptions:
+                if subscription is exclude:
+                    continue
+                self._deliver(subscription, message, reliable=reliable, sender=sender)
+                delivered += 1
+            return delivered
+        if len(subscriptions) == 1:
+            subscription = subscriptions[0]
+            if subscription is exclude:
+                return 0
+            self._dispatch(subscription, message)
+            return 1
+        base = self.base_latency
+        batches: dict[float, list[Subscription]] = {}
+        delivered = 0
+        for subscription in subscriptions:
             if subscription is exclude:
                 continue
-            self._deliver(subscription, message, reliable=reliable, sender=sender)
-            count += 1
-        return count
+            delivered += 1
+            delay = base + subscription.latency
+            group = batches.get(delay)
+            if group is None:
+                batches[delay] = [subscription]
+            else:
+                group.append(subscription)
+        for delay, group in batches.items():
+            if delay == 0.0:
+                for subscription in group:
+                    self._deliver_now(subscription, message)
+            elif len(group) == 1:
+                self.sim.call_later(delay, self._deliver_now, group[0], message)
+            else:
+                self.sim.call_later(delay, self._deliver_batch, group, message)
+        return delivered
 
     def send(
         self,
@@ -220,10 +259,21 @@ class Broker:
         ):
             self.dropped += 1
             return
-        delay = self.base_latency + subscription.latency
+        self._dispatch(subscription, message)
 
-        def put(_event: Any, subscription: Subscription = subscription, message: Any = message) -> None:
+    def _dispatch(self, subscription: Subscription, message: Any) -> None:
+        """Schedule (or, at zero latency, perform) one delivery."""
+        delay = self.base_latency + subscription.latency
+        if delay == 0.0:
+            self._deliver_now(subscription, message)
+        else:
+            self.sim.call_later(delay, self._deliver_now, subscription, message)
+
+    def _deliver_now(self, subscription: Subscription, message: Any) -> None:
+        subscription.queue.put(message)
+        subscription.delivered += 1
+
+    def _deliver_batch(self, group: list[Subscription], message: Any) -> None:
+        for subscription in group:
             subscription.queue.put(message)
             subscription.delivered += 1
-
-        self.sim.timeout(delay).add_callback(put)

@@ -100,7 +100,7 @@ class Link:
         grant = self._mutex.request(priority)
         yield grant
         try:
-            yield self.sim.timeout(self.latency)
+            yield self.sim.sleep(self.latency)
             factor = self.noise.factor(self.rng, self.sim.now)
             realised = self.bandwidth_mbps * max(factor, 1e-9)
             duration = size_mb / realised
@@ -109,11 +109,11 @@ class Link:
                 # completes only when both the local pipe and the origin
                 # have moved the bytes.
                 upstream_done = self.upstream.transfer(size_mb)
-                local_done = self.sim.timeout(duration)
+                local_done = self.sim.sleep(duration)
                 yield local_done
                 yield upstream_done
             else:
-                yield self.sim.timeout(duration)
+                yield self.sim.sleep(duration)
             elapsed = self.sim.now - start
             if elapsed > 0 and size_mb > 0:
                 self.last_realised_mbps = size_mb / elapsed

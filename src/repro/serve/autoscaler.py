@@ -85,6 +85,7 @@ class Autoscaler:
         self.scale_ups = 0
         self.scale_downs = 0
         self._last_action_at = float("-inf")
+        self._timer = None
 
     # -- signals -----------------------------------------------------------
 
@@ -106,14 +107,24 @@ class Autoscaler:
 
     # -- the loop ----------------------------------------------------------
 
-    def run(self):
-        """The periodic control process (spawned by the service runtime)."""
+    def start(self) -> None:
+        """Arm the periodic control tick (called by the service runtime).
+
+        Runs on a re-armed direct-callback timer
+        (:meth:`~repro.sim.kernel.Simulator.call_later`) rather than a
+        perpetual generator process; the tick stops re-arming once the
+        service closes.
+        """
+        self._timer = self.service.sim.call_later(
+            self.config.check_interval_s, self._tick
+        )
+
+    def _tick(self) -> None:
+        if self.service.closed:
+            return
         sim = self.service.sim
-        while True:
-            yield sim.timeout(self.config.check_interval_s)
-            if self.service.closed:
-                return
-            self._evaluate(sim.now)
+        self._evaluate(sim.now)
+        sim.call_later(self.config.check_interval_s, self._tick, handle=self._timer)
 
     def _evaluate(self, now: float) -> None:
         active = len(self.service.master.active_workers)

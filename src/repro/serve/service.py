@@ -225,7 +225,7 @@ class ServiceRuntime:
         self.sim.process(self._injector(), name="service-injector")
         self.sim.process(self._dispatcher(), name="service-dispatcher")
         if self.autoscaler is not None:
-            self.sim.process(self.autoscaler.run(), name="service-autoscaler")
+            self.autoscaler.start()
         self.sim.process(self._deadline_guard(), name="deadline-guard")
         self.sim.run(until=self.master.done)
         return self.report()
@@ -257,7 +257,7 @@ class ServiceRuntime:
                 break
             delay = at - self.sim.now
             if delay > 0:
-                yield self.sim.timeout(delay)
+                yield self.sim.sleep(delay)
             job, tenant = self.source.next_job(source_rng)
             self.slo.job_arrived(self.sim.now, job)
             while True:
@@ -270,7 +270,7 @@ class ServiceRuntime:
                     break
                 assert decision.action == DELAY
                 if decision.retry_after_s > 0:
-                    yield self.sim.timeout(decision.retry_after_s)
+                    yield self.sim.sleep(decision.retry_after_s)
                 else:
                     yield self.admission.wait_for_space()
         self.arrivals_closed = True

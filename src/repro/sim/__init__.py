@@ -4,6 +4,10 @@ A small, from-scratch, SimPy-flavoured discrete-event simulation (DES)
 kernel.  It provides:
 
 * :class:`~repro.sim.kernel.Simulator` -- the event loop and clock,
+  with :meth:`~repro.sim.kernel.Simulator.call_at` /
+  :meth:`~repro.sim.kernel.Simulator.call_later` direct-callback timers
+  (:class:`~repro.sim.kernel.TimerHandle`) for hot internal timers that
+  need no Event/Process machinery,
 * :class:`~repro.sim.events.Event` and friends -- one-shot triggerable
   events with callbacks, plus :class:`~repro.sim.events.Timeout`,
   :class:`~repro.sim.events.AnyOf` and :class:`~repro.sim.events.AllOf`
@@ -36,7 +40,7 @@ Example
 """
 
 from repro.sim.events import AllOf, AnyOf, Event, EventFailed, Timeout
-from repro.sim.kernel import Simulator, StopSimulation
+from repro.sim.kernel import Simulator, StopSimulation, TimerHandle
 from repro.sim.process import Interrupt, Process
 from repro.sim.resources import (
     Container,
@@ -61,6 +65,7 @@ __all__ = [
     "StopSimulation",
     "Store",
     "Timeout",
+    "TimerHandle",
     "split_seed",
     "substream",
 ]

@@ -15,6 +15,7 @@ for :class:`Timeout`).
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
@@ -26,6 +27,14 @@ PENDING = object()
 #: Scheduling priorities -- lower sorts earlier at equal timestamps.
 URGENT = 0
 NORMAL = 1
+
+#: Heap entries order by ``(time, key)`` where ``key`` packs the priority
+#: above the sequence counter: ``key = (priority << _KEY_SHIFT) | seq``.
+#: Because ``seq`` never reaches 2**62, this orders identically to the
+#: lexicographic ``(priority, seq)`` pair while saving one tuple slot on
+#: every heap entry -- the single hottest allocation in the kernel.
+_KEY_SHIFT = 62
+_NORMAL_KEY = NORMAL << _KEY_SHIFT
 
 
 class EventFailed(RuntimeError):
@@ -108,7 +117,8 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = True
         self._value = value
-        self.sim._schedule(self, NORMAL, 0.0)
+        sim = self.sim
+        heappush(sim._heap, (sim._now, _NORMAL_KEY | next(sim._seq), self))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -125,7 +135,8 @@ class Event:
             raise RuntimeError(f"{self!r} has already been triggered")
         self._ok = False
         self._value = exception
-        self.sim._schedule(self, NORMAL, 0.0)
+        sim = self.sim
+        heappush(sim._heap, (sim._now, _NORMAL_KEY | next(sim._seq), self))
         return self
 
     def trigger(self, event: "Event") -> None:
@@ -172,17 +183,35 @@ class Timeout(Event):
     def __init__(self, sim: "Simulator", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise ValueError(f"negative timeout delay: {delay!r}")
-        super().__init__(sim)
-        self.delay = delay
-        self._ok = True
+        # Field assignments are inlined (instead of super().__init__) and
+        # the heap push bypasses Simulator._schedule: Timeout creation is
+        # on the critical path of every waiting process.
+        self.sim = sim
+        self.callbacks = []
         self._value = value
-        sim._schedule(self, NORMAL, delay)
+        self._ok = True
+        self._defused = False
+        self.delay = delay
+        heappush(sim._heap, (sim._now + delay, _NORMAL_KEY | next(sim._seq), self))
 
     def succeed(self, value: Any = None) -> "Event":  # pragma: no cover
         raise RuntimeError("Timeout events trigger themselves")
 
     def fail(self, exception: BaseException) -> "Event":  # pragma: no cover
         raise RuntimeError("Timeout events trigger themselves")
+
+
+class _PooledTimeout(Timeout):
+    """A :class:`Timeout` the kernel may recycle after processing.
+
+    Created through :meth:`~repro.sim.kernel.Simulator.sleep`.  The
+    contract: the sole consumer yields it immediately and drops every
+    reference once resumed, so the kernel run loop can return the
+    instance to the simulator's free pool the moment its callbacks have
+    run.  Never hand one to :class:`AnyOf`/:class:`AllOf` or store it.
+    """
+
+    __slots__ = ()
 
 
 class _Condition(Event):

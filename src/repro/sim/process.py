@@ -19,9 +19,10 @@ waiting on.  The interrupted process may catch the exception and continue
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Generator, Optional
 
-from repro.sim.events import NORMAL, PENDING, URGENT, Event
+from repro.sim.events import _NORMAL_KEY, NORMAL, PENDING, URGENT, Event
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulator
@@ -115,6 +116,7 @@ class Process(Event):
             except (ValueError, AttributeError):
                 pass
         self._target = None
+        sim = self.sim
         try:
             if event._ok:
                 next_event = self.generator.send(event._value)
@@ -123,18 +125,18 @@ class Process(Event):
                 event._defused = True
                 next_event = self.generator.throw(event._value)
         except StopIteration as stop:
-            self.sim._active_process = None
+            sim._active_process = None
             self._ok = True
             self._value = stop.value
-            self.sim._schedule(self, NORMAL, 0.0)
+            heappush(sim._heap, (sim._now, _NORMAL_KEY | next(sim._seq), self))
             return
         except BaseException as exc:
-            self.sim._active_process = None
+            sim._active_process = None
             self._ok = False
             self._value = exc
-            self.sim._schedule(self, NORMAL, 0.0)
+            heappush(sim._heap, (sim._now, _NORMAL_KEY | next(sim._seq), self))
             return
-        self.sim._active_process = None
+        sim._active_process = None
         if not isinstance(next_event, Event):
             error = RuntimeError(
                 f"process {self.name!r} yielded a non-event: {next_event!r}"
@@ -142,7 +144,7 @@ class Process(Event):
             self.generator.close()
             self._ok = False
             self._value = error
-            self.sim._schedule(self, NORMAL, 0.0)
+            heappush(sim._heap, (sim._now, _NORMAL_KEY | next(sim._seq), self))
             return
         self._target = next_event
         next_event.add_callback(self._resume)

@@ -1,0 +1,55 @@
+"""Re-record ``golden_determinism.json`` (see test_determinism_golden).
+
+Run only when a *deliberate* behavioural change invalidates the
+fixture::
+
+    PYTHONPATH=src python tests/regen_golden_determinism.py
+
+Keep the cell parameters below in lockstep with
+``test_determinism_golden.py`` (that test asserts against exactly this
+recording).
+"""
+
+import json
+from pathlib import Path
+
+from repro.experiments.runner import CellSpec, run_cell
+from repro.schedulers.registry import SCHEDULERS
+
+WORKLOAD = "80%_small"
+PROFILE = "fast-slow"
+SEED = 7
+ITERATIONS = 2
+
+
+def regenerate(path: Path) -> None:
+    golden = {}
+    for scheduler in sorted(SCHEDULERS):
+        results = run_cell(
+            CellSpec(
+                scheduler=scheduler,
+                workload=WORKLOAD,
+                profile=PROFILE,
+                seed=SEED,
+                iterations=ITERATIONS,
+            )
+        )
+        golden[scheduler] = [
+            {
+                "iteration": result.iteration,
+                "makespan_s": result.makespan_s,
+                "cache_misses": result.cache_misses,
+                "cache_hits": result.cache_hits,
+                "data_load_mb": result.data_load_mb,
+                "jobs_completed": result.jobs_completed,
+            }
+            for result in results
+        ]
+    path.write_text(
+        json.dumps(golden, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    print(f"golden fixture re-recorded at {path}")
+
+
+if __name__ == "__main__":
+    regenerate(Path(__file__).parent / "golden_determinism.json")
