@@ -19,6 +19,8 @@ A from-scratch Python implementation of the paper's system stack
 * :mod:`repro.serve`     -- the open-loop service layer: arrivals,
   admission control, elastic workers,
 * :mod:`repro.metrics`   -- the paper's three metrics + diagnostics,
+* :mod:`repro.check`     -- correctness tooling: runtime invariant
+  monitors, a trace-replay oracle, and a shrinking scenario fuzzer,
 * :mod:`repro.experiments` -- one module per table/figure.
 
 Quickstart
@@ -41,6 +43,7 @@ crashes, link degradation, partitions and message loss -- with the
 master recovering orphaned jobs -- deterministically per seed.
 """
 
+from repro.check import CheckConfig, InvariantViolation, OracleMismatch, verify_run
 from repro.engine.runtime import EngineConfig, WorkflowRuntime, WorkflowStalled
 from repro.faults import (
     CrashRenewal,
@@ -57,12 +60,15 @@ from repro.serve import ServiceConfig, ServiceReport, ServiceRuntime
 __version__ = "1.1.0"
 
 __all__ = [
+    "CheckConfig",
     "CrashRenewal",
     "EngineConfig",
     "FaultPlan",
+    "InvariantViolation",
     "LinkDegradation",
     "MessageLoss",
     "NetworkPartition",
+    "OracleMismatch",
     "RecoveryConfig",
     "RunResult",
     "ServiceConfig",
@@ -74,6 +80,7 @@ __all__ = [
     "compare_schedulers",
     "run_service",
     "run_workflow",
+    "verify_run",
 ]
 
 

@@ -1,0 +1,217 @@
+"""Reference oracle: trivially simple accounting replayed from the Trace.
+
+The engine accumulates its headline metrics incrementally inside
+:class:`~repro.metrics.collector.MetricsCollector` and freezes them into
+a :class:`~repro.metrics.report.RunResult` -- a path with plenty of
+room for double-counting or dropped updates as the engine grows.  This
+module re-derives the same numbers by the dumbest possible method --
+linear scans over the run's :class:`~repro.metrics.trace.Trace` -- and
+compares.  Any disagreement raises :class:`OracleMismatch` listing every
+differing field.
+
+The oracle is *deliberately* naive: no incremental state, no clever
+indexing, one pass per metric.  Its value is that it is obviously
+correct, so a mismatch indicts the engine's bookkeeping, not the check.
+
+Scope: workflow runs (``WorkflowRuntime``).  Service runs close their
+intake on a timer, so ``finished_at`` is not derivable from job events
+alone; use the monitor's ``service-conservation`` law there instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.trace import Trace
+
+#: Default relative tolerance for float fields.  Engine and oracle sum
+#: the identical values but in different association orders (the engine
+#: groups by worker, the oracle scans in time order), so totals can
+#: differ in the last ulp; 1e-9 relative admits reassociation error and
+#: nothing else.
+_REL_TOL = 1e-9
+
+
+@dataclass(frozen=True)
+class OracleSummary:
+    """The independently re-derived run accounting."""
+
+    jobs_completed: int
+    jobs_failed: int
+    cache_hits: int
+    cache_misses: int
+    data_load_mb: float
+    makespan_s: Optional[float]
+    per_worker_mb: dict
+    per_worker_jobs: dict
+    failed_jobs: tuple
+
+
+class OracleMismatch(AssertionError):
+    """The engine's accounting disagrees with the trace replay.
+
+    ``mismatches`` lists ``(field, engine_value, oracle_value)`` for
+    every differing quantity.
+    """
+
+    def __init__(self, mismatches: list):
+        self.mismatches = list(mismatches)
+        lines = "\n".join(
+            f"  {field}: engine={engine!r} oracle={oracle!r}"
+            for field, engine, oracle in self.mismatches
+        )
+        super().__init__(
+            f"engine accounting disagrees with the trace oracle on "
+            f"{len(self.mismatches)} field(s):\n{lines}"
+        )
+
+
+def replay_trace(trace: Trace, started_at: Optional[float] = None) -> OracleSummary:
+    """Re-derive the run accounting from the raw event log.
+
+    One linear scan per metric; no shared state with the engine's
+    collector beyond the trace itself.
+    """
+    if not trace.enabled:
+        raise ValueError("oracle replay needs a recorded trace (EngineConfig(trace=True))")
+
+    completed = [e for e in trace if e.kind == "completed"]
+    failed = [e for e in trace if e.kind == "failed"]
+    submitted = [e for e in trace if e.kind == "submitted"]
+    hits = [e for e in trace if e.kind == "cache_hit"]
+    misses = [e for e in trace if e.kind == "download_started"]
+    downloads = [e for e in trace if e.kind == "download_finished"]
+
+    per_worker_mb: dict = {}
+    for event in downloads:
+        per_worker_mb[event.worker] = per_worker_mb.get(event.worker, 0.0) + event.detail
+    per_worker_jobs: dict = {}
+    for event in completed:
+        if event.worker is not None:
+            per_worker_jobs[event.worker] = per_worker_jobs.get(event.worker, 0) + 1
+
+    # Lifecycle laws: exactly one terminal event per submitted job, no
+    # terminal event without a submission, and causal ordering of each
+    # job's first submitted/started/terminal events.  (Assignment is
+    # recorded master-side and can trail a pull-style worker's start by
+    # one delivery latency, so assigned-before-started is deliberately
+    # NOT required here.)
+    submitted_set: set = set()
+    for event in submitted:
+        if event.job_id in submitted_set:
+            raise OracleMismatch(
+                [("submitted", f"duplicate submission {event.job_id!r}", "unique")]
+            )
+        submitted_set.add(event.job_id)
+    terminal_counts: dict = {}
+    for event in completed + failed:
+        terminal_counts[event.job_id] = terminal_counts.get(event.job_id, 0) + 1
+    for job_id, count in terminal_counts.items():
+        if count != 1:
+            raise OracleMismatch(
+                [(f"terminal[{job_id}]", f"{count} terminal events", "exactly 1")]
+            )
+        if job_id not in submitted_set:
+            raise OracleMismatch(
+                [(f"terminal[{job_id}]", "terminal without submission", "submitted first")]
+            )
+    missing = submitted_set - set(terminal_counts)
+    if missing:
+        raise OracleMismatch(
+            [("unterminated", sorted(missing)[:5], "every submitted job terminates")]
+        )
+
+    first_submitted: dict = {}
+    first_started: dict = {}
+    terminal_at: dict = {}
+    for event in trace:
+        if event.kind == "submitted":
+            first_submitted.setdefault(event.job_id, event.time)
+        elif event.kind == "started":
+            first_started.setdefault(event.job_id, event.time)
+        elif event.kind in ("completed", "failed"):
+            terminal_at.setdefault(event.job_id, event.time)
+    for job_id, at in terminal_at.items():
+        sub = first_submitted[job_id]
+        start = first_started.get(job_id)
+        if start is not None and start < sub:
+            raise OracleMismatch(
+                [(f"order[{job_id}]", f"started@{start} < submitted@{sub}", "causal order")]
+            )
+        anchor = start if start is not None else sub
+        if at < anchor:
+            raise OracleMismatch(
+                [(f"order[{job_id}]", f"terminal@{at} < {anchor}", "causal order")]
+            )
+
+    makespan: Optional[float] = None
+    if terminal_at and started_at is not None:
+        makespan = max(terminal_at.values()) - started_at
+
+    return OracleSummary(
+        jobs_completed=len(completed),
+        jobs_failed=len(failed),
+        cache_hits=len(hits),
+        cache_misses=len(misses),
+        data_load_mb=sum(event.detail for event in downloads),
+        makespan_s=makespan,
+        per_worker_mb=per_worker_mb,
+        per_worker_jobs=per_worker_jobs,
+        failed_jobs=tuple(sorted(e.job_id for e in failed)),
+    )
+
+
+def verify_run(result, metrics, tolerance: float = _REL_TOL) -> OracleSummary:
+    """Differential check: RunResult vs the trace oracle.
+
+    Parameters
+    ----------
+    result:
+        The :class:`~repro.metrics.report.RunResult` of a *workflow* run.
+    metrics:
+        The run's :class:`~repro.metrics.collector.MetricsCollector`
+        (for the trace and the run-start anchor).
+    tolerance:
+        Relative float tolerance; the default admits only summation
+        reassociation error (both sides sum the identical trace values,
+        grouped differently).
+
+    Returns the oracle summary on success; raises :class:`OracleMismatch`
+    listing every disagreement otherwise.
+    """
+    oracle = replay_trace(metrics.trace, started_at=metrics.started_at)
+    mismatches: list = []
+
+    def check(field: str, engine, expected) -> None:
+        if isinstance(engine, float) or isinstance(expected, float):
+            bound = tolerance * max(1.0, abs(engine), abs(expected))
+            if abs(engine - expected) > bound:
+                mismatches.append((field, engine, expected))
+        elif engine != expected:
+            mismatches.append((field, engine, expected))
+
+    check("jobs_completed", result.jobs_completed, oracle.jobs_completed)
+    check("cache_hits", result.cache_hits, oracle.cache_hits)
+    check("cache_misses", result.cache_misses, oracle.cache_misses)
+    check("data_load_mb", result.data_load_mb, oracle.data_load_mb)
+    check("failed_jobs", tuple(result.failed_jobs), oracle.failed_jobs)
+    if oracle.makespan_s is not None:
+        check("makespan_s", result.makespan_s, oracle.makespan_s)
+    for worker, mb in oracle.per_worker_mb.items():
+        check(f"per_worker_mb[{worker}]", result.per_worker_mb.get(worker, 0.0), mb)
+    for worker, mb in result.per_worker_mb.items():
+        if worker not in oracle.per_worker_mb and mb != 0.0:
+            mismatches.append((f"per_worker_mb[{worker}]", mb, 0.0))
+    for worker, count in oracle.per_worker_jobs.items():
+        check(f"per_worker_jobs[{worker}]", result.per_worker_jobs.get(worker, 0), count)
+    for worker, count in result.per_worker_jobs.items():
+        if worker not in oracle.per_worker_jobs and count != 0:
+            mismatches.append((f"per_worker_jobs[{worker}]", count, 0))
+
+    if mismatches:
+        raise OracleMismatch(mismatches)
+    return oracle
+
+
+__all__ = ["OracleMismatch", "OracleSummary", "replay_trace", "verify_run"]

@@ -14,11 +14,16 @@ Subcommands map one-to-one onto the experiment modules::
                                # open-loop service run with SLO summary
     repro faults               # degradation sweep: makespan vs crash rate
     repro bench                # kernel/network hot-path benchmarks -> BENCH.json
+    repro fuzz --budget 60     # randomised scenario fuzzing with shrinking
+    repro run --scenario r.json
+                               # replay a (shrunk) fuzzer reproducer
 
 ``run`` and ``serve`` accept ``--faults`` with an inline JSON
-:class:`~repro.faults.FaultPlan` or ``@path/to/plan.json``.  ``run`` and
-``bench`` accept ``--profile-hot [N]`` to wrap the run in cProfile and
-print the top N functions by cumulative time.
+:class:`~repro.faults.FaultPlan` or ``@path/to/plan.json``, and
+``--check-invariants`` to run under the live
+:class:`~repro.check.InvariantMonitor` (see :mod:`repro.check`).
+``run`` and ``bench`` accept ``--profile-hot [N]`` to wrap the run in
+cProfile and print the top N functions by cumulative time.
 
 ``--parallel N`` fans independent simulation cells across N processes
 where the experiment supports it.
@@ -129,6 +134,12 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument("--parallel", type=int, default=None)
 
     run = sub.add_parser("run", help="run a single experiment cell")
+    run.add_argument(
+        "--scenario",
+        metavar="FILE",
+        default=None,
+        help="replay a fuzzer scenario JSON instead of an experiment cell",
+    )
     run.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="bidding")
     run.add_argument(
         "--workload",
@@ -147,7 +158,39 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="report permanently failed jobs instead of erroring out",
     )
+    run.add_argument(
+        "--check-invariants",
+        dest="check_invariants",
+        action="store_true",
+        help="run under the live invariant monitor (repro.check)",
+    )
     _add_profile_flag(run)
+
+    fuzzer = sub.add_parser(
+        "fuzz",
+        help="randomised scenario fuzzing: monitors + oracle on, shrink failures",
+    )
+    fuzzer.add_argument(
+        "--budget",
+        default="60s",
+        help="wall-clock budget in seconds (a trailing 's' is accepted)",
+    )
+    fuzzer.add_argument("--seed", type=int, default=0, help="base scenario seed")
+    fuzzer.add_argument(
+        "--max-scenarios", type=int, default=None, help="stop after N scenarios"
+    )
+    fuzzer.add_argument(
+        "--planted",
+        choices=["double-allocate", "overdelivery"],
+        default=None,
+        help="self-validation: fuzz a deliberately planted bug (exit 0 iff found)",
+    )
+    fuzzer.add_argument(
+        "--out",
+        metavar="DIR",
+        default=None,
+        help="write each shrunk reproducer as a JSON file in DIR",
+    )
 
     bench = sub.add_parser(
         "bench", help="kernel/network hot-path benchmarks; writes BENCH.json"
@@ -217,10 +260,78 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--max-workers", type=int, default=10)
     serve.add_argument("--save-json", metavar="PATH", help="persist the report as JSON")
     _add_faults_flag(serve)
+    serve.add_argument(
+        "--check-invariants",
+        dest="check_invariants",
+        action="store_true",
+        help="run under the live invariant monitor (repro.check)",
+    )
     return parser
 
 
+def _replay_scenario(path: str) -> int:
+    """Replay a fuzzer scenario JSON; exit 0 iff the run is clean."""
+    from repro.check.fuzzer import Scenario, run_scenario
+
+    scenario = Scenario.from_json(f"@{path}")
+    print(
+        f"replaying {path}: scheduler={scenario.scheduler} seed={scenario.seed} "
+        f"{len(scenario.jobs)} jobs on {len(scenario.workers)} workers"
+    )
+    outcome = run_scenario(scenario)
+    if outcome.signature is None:
+        print("clean: monitors and oracle found nothing")
+        return 0
+    kind, detail = outcome.signature
+    print(f"FAILURE {kind}{f' [{detail}]' if detail else ''}")
+    if outcome.message:
+        print(outcome.message)
+    return 1
+
+
+def _run_fuzz(args: argparse.Namespace) -> int:
+    from repro.check.fuzzer import fuzz
+
+    budget_s = float(str(args.budget).rstrip("s"))
+    report = fuzz(
+        budget_s=budget_s,
+        seed=args.seed,
+        planted=args.planted,
+        max_scenarios=args.max_scenarios,
+    )
+    print(
+        f"fuzz: {report.scenarios_run} scenarios in {report.elapsed_s:.1f}s, "
+        f"{len(report.failures)} distinct failure(s)"
+    )
+    for index, failure in enumerate(report.failures):
+        kind, detail = failure.signature
+        shrunk = failure.shrunk
+        print(
+            f"  [{index}] {kind}{f' [{detail}]' if detail else ''}: "
+            f"seed {shrunk.seed}, shrunk to {len(shrunk.jobs)} job(s) on "
+            f"{len(shrunk.workers)} worker(s)"
+        )
+        if args.out:
+            import os
+
+            os.makedirs(args.out, exist_ok=True)
+            path = os.path.join(args.out, f"repro-{shrunk.seed}-{index}.json")
+            shrunk.to_json(path)
+            print(f"      reproducer written to {path}")
+    if args.planted is not None:
+        # Self-validation: the planted bug MUST be found.
+        if report.failures:
+            print(f"planted bug {args.planted!r} caught and shrunk")
+            return 0
+        print(f"planted bug {args.planted!r} was NOT caught", file=sys.stderr)
+        return 1
+    return 1 if report.failures else 0
+
+
 def _run_single(args: argparse.Namespace) -> None:
+    overrides: tuple = ()
+    if args.check_invariants:
+        overrides = (("check", True),)
     spec = CellSpec(
         scheduler=args.scheduler,
         workload=args.workload,
@@ -230,6 +341,7 @@ def _run_single(args: argparse.Namespace) -> None:
         keep_cache=not args.cold,
         faults=_parse_faults(args.faults),
         allow_partial=args.allow_partial,
+        engine_overrides=overrides,
     )
     results = run_cell(spec)
     if args.save_json:
@@ -298,7 +410,7 @@ def _run_serve(args: argparse.Namespace) -> None:
             else None
         ),
         service_config=ServiceConfig(duration_s=args.duration, deadline_s=args.deadline),
-        config=EngineConfig(seed=args.seed),
+        config=EngineConfig(seed=args.seed, check=args.check_invariants),
         faults=_parse_faults(args.faults),
     )
     report = runtime.run()
@@ -396,7 +508,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
             runner()
     elif args.command == "run":
+        if args.scenario is not None:
+            return _replay_scenario(args.scenario)
         _maybe_profiled(args, lambda: _run_single(args))
+    elif args.command == "fuzz":
+        return _run_fuzz(args)
     elif args.command == "bench":
         from repro.experiments import bench as bench_mod
 

@@ -229,9 +229,20 @@ class BiddingWorkerPolicy(WorkerPolicy):
 
     def start(self) -> None:
         subscription = self.worker.topology.subscribe(TOPIC_ANNOUNCE, self.worker.name)
+        self._subscription = subscription
         self.worker.sim.process(
             self._bid_loop(subscription), name=f"{self.worker.name}-bidder"
         )
+
+    def on_killed(self) -> None:
+        # Eager unsubscribe: without it the dead node's announce mailbox
+        # keeps receiving until the bid loop sees the next announcement,
+        # double-delivering to a restarted worker of the same name (the
+        # fuzzer's fifo-per-pair monitor caught exactly this).  The lazy
+        # checks in the loop stay as a safety net; unsubscribe is
+        # idempotent.
+        if getattr(self, "_subscription", None) is not None:
+            self.worker.topology.broker.unsubscribe(self._subscription)
 
     def _bid_loop(self, subscription):
         """``sendBid`` for every announcement (Listing 2 lines 1-8)."""

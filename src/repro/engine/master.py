@@ -140,6 +140,9 @@ class Master:
         #: Re-armed straggler-scan timer (set in :meth:`start` when the
         #: recovery policy enables a re-dispatch timeout).
         self._straggler_timer = None
+        #: Optional live invariant checker (see :mod:`repro.check`);
+        #: attached by the runtime when ``EngineConfig.check`` is set.
+        self.monitor = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -177,6 +180,8 @@ class Master:
         self.assignments[job.job_id] = worker
         self._assigned_at[job.job_id] = (job, worker, self.sim.now)
         self.metrics.job_assigned(self.sim.now, job, worker)
+        if self.monitor is not None:
+            self.monitor.on_assigned(job.job_id, worker, self.sim.now)
 
     def send_to_worker(self, worker: str, message: object) -> None:
         """Point-to-point message to one worker (persistent delivery for
@@ -254,6 +259,8 @@ class Master:
         """Accept a job into the workflow (source arrival or child)."""
         self.outstanding += 1
         self.metrics.job_submitted(self.sim.now, job)
+        if self.monitor is not None:
+            self.monitor.on_submitted(job.job_id, self.sim.now)
         task = self.pipeline.task_of(job)
         if task.on_master:
             # Master-side tasks (cheap aggregation sinks) run inline.
@@ -312,6 +319,10 @@ class Master:
         # counts; duplicates must not expand children or decrement
         # ``outstanding`` a second time.
         if job.job_id in self._completed_ids or job.job_id in self.failed_jobs:
+            if self.monitor is not None:
+                self.monitor.on_duplicate_completion(
+                    job.job_id, message.worker, self.sim.now
+                )
             if self.recovery is None and job.job_id in self._completed_ids:
                 # Without recovery nothing is ever re-dispatched, so a
                 # second completion is an engine bug, not a race.
@@ -337,6 +348,8 @@ class Master:
         self.outstanding -= 1
         if self.outstanding < 0:
             raise RuntimeError(f"job {job.job_id!r} completed more times than submitted")
+        if self.monitor is not None:
+            self.monitor.on_completed(job.job_id, worker, self.sim.now)
         self.metrics.job_completed(self.sim.now, job, worker)
         if message is not None:
             self.completions[job.job_id] = message
@@ -366,6 +379,8 @@ class Master:
             return
         for job in orphans:
             self.metrics.job_orphaned(self.sim.now, job, message.worker)
+            if self.monitor is not None:
+                self.monitor.on_orphaned(job.job_id, self.sim.now)
         # Policies get the failure for *bookkeeping* (drop plans, close
         # contests); the master owns the actual re-dispatch below.
         self.policy.on_worker_failed(message.worker, orphans)
@@ -389,15 +404,25 @@ class Master:
             return
         self._redispatch_counts[job.job_id] = attempts + 1
         self.metrics.job_redispatched(self.sim.now, job)
+        if self.monitor is not None:
+            self.monitor.on_redispatched(job.job_id, self.sim.now)
         delay = self.recovery.backoff_base_s * self.recovery.backoff_factor**attempts
         if delay <= 0:
-            self.policy.on_job(job)
+            self._redispatch_if_unresolved(job)
             return
         self.sim.call_later(delay, self._redispatch_if_unresolved, job)
 
     def _redispatch_if_unresolved(self, job: Job) -> None:
         """Backoff-timer callback: hand the orphan back to the policy."""
         if job.job_id in self._completed_ids or job.job_id in self.failed_jobs:
+            return
+        if not self.active_workers:
+            # The whole fleet is down (or every failure report beat the
+            # restarts in): the policy has nowhere to send the job, so
+            # retry after the base backoff instead of crashing it.
+            self.sim.call_later(
+                self.recovery.backoff_base_s, self._redispatch_if_unresolved, job
+            )
             return
         self.policy.on_job(job)
 
@@ -408,6 +433,8 @@ class Master:
         self.failed_jobs[job.job_id] = reason
         self._assigned_at.pop(job.job_id, None)
         self.metrics.job_failed(self.sim.now, job, reason)
+        if self.monitor is not None:
+            self.monitor.on_failed(job.job_id, self.sim.now)
         self.outstanding -= 1
         for listener in self.failure_listeners:
             listener(job, worker, self.sim.now, reason)
@@ -430,6 +457,8 @@ class Master:
         ]
         for job, worker in overdue:
             self.metrics.job_orphaned(now, job, worker)
+            if self.monitor is not None:
+                self.monitor.on_orphaned(job.job_id, now)
             self._recover_orphan(job, worker)
         self.sim.call_later(timeout / 2, self._straggler_tick, handle=self._straggler_timer)
 

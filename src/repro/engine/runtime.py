@@ -23,6 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from repro.check.invariants import InvariantMonitor, as_check_config
 from repro.cluster.machine import Machine
 from repro.cluster.profiles import WorkerProfile
 from repro.data.cache import WorkerCache
@@ -66,6 +67,14 @@ class EngineConfig:
         use persistent delivery.  The paper assumes 0.
     trace:
         Record the full job-lifecycle trace (disable for benchmarks).
+    check:
+        Runtime invariant monitoring (see :mod:`repro.check`): ``True``
+        attaches an :class:`~repro.check.invariants.InvariantMonitor` to
+        every engine component and raises
+        :class:`~repro.check.invariants.InvariantViolation` the moment a
+        conservation/ordering/contest law breaks.  Pass a
+        :class:`~repro.check.invariants.CheckConfig` for fine-grained
+        control.  Off (the default) costs one attribute test per hook.
     max_sim_time:
         Safety deadline -- a run not finishing by this simulated time
         raises instead of spinning forever.
@@ -86,15 +95,22 @@ class EngineConfig:
     #: GitHub-scale source effectively is for 5 workers.
     shared_origin_mbps: Optional[float] = None
     trace: bool = True
+    check: object = False
     max_sim_time: float = 10_000_000.0
 
     def __post_init__(self) -> None:
+        as_check_config(self.check)  # validate eagerly (raises on bad type)
         if not 0 <= self.message_loss < 1:
             raise ValueError("message_loss must be in [0, 1)")
         if self.max_sim_time <= 0:
             raise ValueError("max_sim_time must be positive")
         if self.shared_origin_mbps is not None and self.shared_origin_mbps <= 0:
             raise ValueError("shared_origin_mbps must be positive")
+
+    def check_config(self):
+        """The normalised :class:`~repro.check.invariants.CheckConfig`,
+        or ``None`` when invariant monitoring is off."""
+        return as_check_config(self.check)
 
 
 def build_worker_node(
@@ -108,6 +124,7 @@ def build_worker_node(
     noise_rng,
     origin=None,
     initial_cache: Optional[dict[str, float]] = None,
+    monitor: Optional[InvariantMonitor] = None,
 ) -> WorkerNode:
     """Wire one worker node (machine + cache + policy) for a run.
 
@@ -118,6 +135,10 @@ def build_worker_node(
     cache = WorkerCache(capacity_mb=spec.cache_capacity_mb)
     if initial_cache:
         cache.preload(initial_cache)
+        if monitor is not None:
+            # Warm clones count as prior fetches for the
+            # cache-hit-requires-fetch law.
+            monitor.on_cache_preload(spec.name, initial_cache)
     machine = Machine(
         sim,
         spec,
@@ -126,7 +147,7 @@ def build_worker_node(
         rng=noise_rng,
         upstream=origin,
     )
-    return WorkerNode(
+    node = WorkerNode(
         sim=sim,
         topology=topology,
         machine=machine,
@@ -136,6 +157,8 @@ def build_worker_node(
         pipeline=pipeline,
         prefetch=config.prefetch,
     )
+    node.monitor = monitor
+    return node
 
 
 class WorkflowStalled(RuntimeError):
@@ -186,6 +209,7 @@ def restart_worker(host, name: str) -> WorkerNode:
         noise_rng=host._streams.get("noise", name),
         origin=host._origin,
         initial_cache=old.cache.contents() if keep_cache else None,
+        monitor=getattr(host, "monitor", None),
     )
     host.workers[name] = node
     host.master.revive_worker(name)
@@ -242,6 +266,13 @@ class WorkflowRuntime:
         self.metrics = MetricsCollector()
         self.metrics.trace.enabled = self.config.trace
 
+        check_cfg = self.config.check_config()
+        #: Live invariant checker (see :mod:`repro.check`), or ``None``.
+        self.monitor: Optional[InvariantMonitor] = (
+            InvariantMonitor(check_cfg) if check_cfg is not None else None
+        )
+        self.metrics.monitor = self.monitor
+
         # The pipeline may need simulation-bound services (e.g. the
         # GitHub model), hence the factory variant taking the fresh sim.
         if pipeline is not None:
@@ -258,12 +289,15 @@ class WorkflowRuntime:
         if self.config.message_loss > 0:
             self.topology.broker.drop_probability = self.config.message_loss
             self.topology.broker.rng = streams.get("message-loss")
+        self.topology.broker.monitor = self.monitor
 
         origin = (
             FairSharePipe(self.sim, capacity_mbps=self.config.shared_origin_mbps)
             if self.config.shared_origin_mbps is not None
             else None
         )
+        if origin is not None:
+            origin.monitor = self.monitor
         self._origin = origin
 
         self.workers: dict[str, WorkerNode] = {}
@@ -279,6 +313,7 @@ class WorkflowRuntime:
                 noise_rng=streams.get("noise", spec.name),
                 origin=origin,
                 initial_cache=(initial_caches or {}).get(spec.name),
+                monitor=self.monitor,
             )
 
         master_policy = scheduler.make_master()
@@ -295,6 +330,12 @@ class WorkflowRuntime:
             fault_tolerance=self.config.fault_tolerance,
             recovery=faults.recovery if faults is not None else None,
         )
+        if self.monitor is not None:
+            self.master.monitor = self.monitor
+            self.monitor.recovery_enabled = self.master.recovery is not None
+            # The bidding policy exposes its window; the monitor uses it
+            # to bound contest durations (None disables that law).
+            self.monitor.contest_window_s = getattr(master_policy, "window_s", None)
         # Centralized policies get the driver's block-location view
         # (what is cached where *now*; they never see later changes).
         if hasattr(master_policy, "cache_view"):
@@ -338,10 +379,15 @@ class WorkflowRuntime:
                 metrics=self.metrics,
                 restart=lambda name: restart_worker(self, name),
                 loss_rng=self._streams.get("faults", "loss"),
+                monitor=self.monitor,
             )
             self.injector.start()
         self.sim.process(self._deadline_guard(), name="deadline-guard")
         self.sim.run(until=self.master.done)
+        if self.monitor is not None:
+            # End-of-run conservation laws come before the partial-failure
+            # escalation: a broken law is the more fundamental error.
+            self.monitor.final_check()
         if self.master.failed_jobs and not self.allow_partial:
             raise WorkflowStalled(self.master.failed_jobs)
         return self.result()

@@ -113,6 +113,9 @@ class WorkerNode:
         self._prefetch_inflight: dict[str, Event] = {}
         #: job_ids whose miss was already accounted by the prefetcher.
         self._prefetch_credit: set[str] = set()
+        #: Optional live invariant checker (see :mod:`repro.check`);
+        #: attached by the runtime when ``EngineConfig.check`` is set.
+        self.monitor = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -182,6 +185,8 @@ class WorkerNode:
         """Append a job to the FIFO queue with its committed-cost estimate."""
         if not self.alive:
             raise RuntimeError(f"worker {self.name} is dead")
+        if self.monitor is not None:
+            self.monitor.on_enqueued(job.job_id, self.name, self.sim.now)
         self.unfinished[job.job_id] = estimated_cost
         self._outstanding_jobs += 1
         self.queue.put(job)
@@ -231,6 +236,8 @@ class WorkerNode:
             self.current_job = job
             started = self.sim.now
             self.metrics.job_started(started, job, self.name)
+            if self.monitor is not None:
+                self.monitor.on_job_started(job.job_id, self.name, started)
             try:
                 yield from self._execute(job)
             except Interrupt:
@@ -262,11 +269,15 @@ class WorkerNode:
                 self.cache.lookup(job.repo_id)
             elif self.cache.lookup(job.repo_id):
                 self.metrics.record_cache_hit(self.sim.now, self.name, job)
+                if self.monitor is not None:
+                    self.monitor.on_cache_hit(self.name, job.repo_id, self.sim.now)
             else:
                 self.metrics.record_cache_miss(self.sim.now, self.name, job)
                 yield from self.machine.download(job.size_mb)
                 self.cache.insert(job.repo_id, job.size_mb)
                 self.metrics.record_download(self.sim.now, self.name, job, job.size_mb)
+                if self.monitor is not None:
+                    self.monitor.on_cache_fetch(self.name, job.repo_id, self.sim.now)
         task = self.pipeline.task_of(job) if self.pipeline is not None else None
         if task is not None and task.sim_work is not None:
             yield self.sim.process(task.sim_work(job, self.machine, self.sim))
@@ -309,6 +320,8 @@ class WorkerNode:
             self.metrics.record_download(
                 self.sim.now, self.name, target, target.size_mb
             )
+            if self.monitor is not None:
+                self.monitor.on_cache_fetch(self.name, target.repo_id, self.sim.now)
             self._prefetch_credit.add(target.job_id)
             del self._prefetch_inflight[target.repo_id]
             done.succeed()
@@ -370,4 +383,5 @@ class WorkerNode:
                 self._exec_proc.interrupt("worker-killed")
         if self._prefetch_proc is not None and self._prefetch_proc.is_alive:
             self._prefetch_proc.interrupt("worker-killed")
+        self.policy.on_killed()
         self.send_to_master(WorkerFailure(worker=self.name, orphaned=tuple(orphaned)))

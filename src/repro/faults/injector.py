@@ -68,6 +68,7 @@ class FaultInjector:
         metrics,
         restart: Optional[Callable[[str], None]] = None,
         loss_rng=None,
+        monitor=None,
     ):
         self.sim = sim
         self.plan = plan
@@ -78,6 +79,10 @@ class FaultInjector:
         self.metrics = metrics
         self.restart = restart
         self.loss_rng = loss_rng
+        #: Optional live invariant checker (see :mod:`repro.check`).
+        #: Injected faults are reported to it as context, so a violation's
+        #: trace slice shows the crash/partition that provoked it.
+        self.monitor = monitor
         #: Chronological ``(sim_time, kind, detail)`` action log.
         self.events: list[tuple[float, str, str]] = []
 
@@ -97,6 +102,8 @@ class FaultInjector:
 
     # -- helpers -------------------------------------------------------
     def _record(self, kind: str, detail: str) -> None:
+        if self.monitor is not None:
+            self.monitor.on_fault(kind, detail, self.sim.now)
         self.events.append((self.sim.now, kind, detail))
 
     def _candidates(self, targets=()) -> list[str]:
@@ -130,8 +137,13 @@ class FaultInjector:
         if node is None or not node.alive:
             self._record("crash-skipped", f"{name} already down")
             return None
-        if len(self.master.active_workers) <= 1:
-            self._record("crash-skipped", f"{name} is the last active worker")
+        # Node-level truth, not the master's view: a just-killed worker's
+        # failure report is still in flight, so ``master.active_workers``
+        # lags by one delivery latency and two near-simultaneous crashes
+        # could wipe the whole fleet through the stale guard.
+        alive = sum(1 for node in self.workers.values() if node.alive)
+        if alive <= 1:
+            self._record("crash-skipped", f"{name} is the last live worker")
             return None
         self._record("crash", name)
         self.metrics.worker_crashed(self.sim.now, name)

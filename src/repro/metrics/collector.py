@@ -68,6 +68,9 @@ class MetricsCollector:
     #: Orphan-to-completion delays, one entry per recovered job.
     recovery_times: list = field(default_factory=list)
     _orphaned_at: dict = field(default_factory=dict)
+    #: Optional live invariant checker (see :mod:`repro.check`): contest
+    #: events funnel through the collector, so it forwards them here.
+    monitor: Optional[object] = field(default=None, repr=False, compare=False)
 
     def worker(self, name: str) -> WorkerMetrics:
         """Get-or-create the counter block for ``name``."""
@@ -203,10 +206,14 @@ class MetricsCollector:
 
     def contest_opened(self, now: float, job: Job) -> None:
         self.contests_opened += 1
+        if self.monitor is not None:
+            self.monitor.on_contest_opened(job.job_id, now)
         self.trace.record(now, "announced", job.job_id)
 
     def bid_received(self, now: float, job_id: str, worker: str, cost: float) -> None:
         self.worker(worker).bids_submitted += 1
+        if self.monitor is not None:
+            self.monitor.on_bid(job_id, worker, now)
         self.trace.record(now, "bid", job_id, worker, cost)
 
     def contest_closed(
@@ -225,6 +232,8 @@ class MetricsCollector:
         else:
             raise ValueError(f"unknown contest outcome {outcome!r}")
         self.contest_seconds += duration
+        if self.monitor is not None:
+            self.monitor.on_contest_closed(job.job_id, winner, duration, outcome, now)
         self.trace.record(now, "contest_closed", job.job_id, winner, outcome)
 
     def offer_made(self, now: float, job: Job, worker: str) -> None:

@@ -70,6 +70,9 @@ class FairSharePipe:
         #: transfer start/finish re-settles the fluid model and re-arms
         #: this handle in place -- no Process/Timeout churn per event.
         self._timer = TimerHandle()
+        #: Optional live invariant checker (see :mod:`repro.check`);
+        #: attached by the runtime when ``EngineConfig.check`` is set.
+        self.monitor = None
 
     # -- public API ------------------------------------------------------
 
@@ -139,9 +142,15 @@ class FairSharePipe:
             rem = self._rem
             finished_idx = np.nonzero(rem <= 1e-12)[0]
             if len(finished_idx):
+                monitor = self.monitor
                 for i in finished_idx:
                     transfer = active[i]
-                    transfer.done.succeed(now - transfer.started_at)
+                    elapsed = now - transfer.started_at
+                    if monitor is not None:
+                        monitor.on_transfer_complete(
+                            self.capacity_mbps, transfer.size_mb, elapsed, now
+                        )
+                    transfer.done.succeed(elapsed)
                 # Deleting list slots back-to-front keeps surviving
                 # indices aligned with the compacted residual array.
                 for i in finished_idx[::-1]:

@@ -109,6 +109,9 @@ class Broker:
         self._next_partition_id = 0
         #: Reliable deliveries held back by a partition, flushed on heal.
         self._held: list[tuple[Subscription, Any, Optional[str]]] = []
+        #: Optional live invariant checker (see :mod:`repro.check`);
+        #: attached by the runtime when ``EngineConfig.check`` is set.
+        self.monitor = None
 
     def subscribe(self, topic: str, name: str, latency: float = 0.0) -> Subscription:
         """Register a subscriber mailbox on ``topic``.
@@ -188,6 +191,8 @@ class Broker:
         deliveries skip the timer entirely.
         """
         self.published += 1
+        if self.monitor is not None:
+            self.monitor.on_publish(topic, message, sender, self.sim.now)
         subscriptions = self._topics.get(topic, ())
         if not subscriptions:
             return 0
@@ -237,6 +242,8 @@ class Broker:
         sender: Optional[str] = None,
     ) -> None:
         """Point-to-point delivery to one known mailbox."""
+        if self.monitor is not None:
+            self.monitor.on_publish(subscription.topic, message, sender, self.sim.now)
         self._deliver(subscription, message, reliable=reliable, sender=sender)
 
     def _deliver(
@@ -270,10 +277,19 @@ class Broker:
             self.sim.call_later(delay, self._deliver_now, subscription, message)
 
     def _deliver_now(self, subscription: Subscription, message: Any) -> None:
+        if self.monitor is not None:
+            self.monitor.on_deliver(
+                subscription.topic, subscription.name, message, self.sim.now
+            )
         subscription.queue.put(message)
         subscription.delivered += 1
 
     def _deliver_batch(self, group: list[Subscription], message: Any) -> None:
+        monitor = self.monitor
         for subscription in group:
+            if monitor is not None:
+                monitor.on_deliver(
+                    subscription.topic, subscription.name, message, self.sim.now
+                )
             subscription.queue.put(message)
             subscription.delivered += 1

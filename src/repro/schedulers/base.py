@@ -111,6 +111,12 @@ class WorkerPolicy:
         enqueued, everything else is an error)."""
         return False
 
+    def on_killed(self) -> None:
+        """The host worker died (fault injection).  Release any broker
+        subscriptions the policy holds so the dead node stops receiving
+        topic traffic immediately -- a restarted replacement subscribes
+        under the same name and must not be shadowed.  Default: nothing."""
+
     def on_job_finished(self, job: Job, elapsed_s: float = 0.0) -> None:
         """Observe local completion (e.g. to release committed workload or
         feed estimate-vs-actual learning).  ``elapsed_s`` is the wall time

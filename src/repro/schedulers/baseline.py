@@ -72,6 +72,12 @@ class BaselineMasterPolicy(MasterPolicy):
         self.parked_pulls: deque[str] = deque()
         #: job_id -> number of times offered (diagnostics).
         self.offer_counts: dict[str, int] = {}
+        #: job_id -> (worker, job) for offers awaiting accept/reject.
+        #: An offer is the one moment a job lives in neither the queue
+        #: nor the master's assignment table, so a crash of the offeree
+        #: would otherwise lose it forever (JMS would redeliver the
+        #: unacked message; we requeue in :meth:`on_worker_failed`).
+        self.in_flight: dict[str, tuple[str, Job]] = {}
 
     def on_job(self, job: Job) -> None:
         self.job_queue.append(job)
@@ -79,10 +85,14 @@ class BaselineMasterPolicy(MasterPolicy):
 
     def on_message(self, message: object) -> bool:
         if isinstance(message, PullRequest):
-            self.parked_pulls.append(message.worker)
+            # One parked entry per worker: a retried pull (the loss
+            # -timeout path) must not claim a second offer.
+            if message.worker not in self.parked_pulls:
+                self.parked_pulls.append(message.worker)
             self._match()
             return True
         if isinstance(message, JobReject):
+            self.in_flight.pop(message.job.job_id, None)
             self.master.metrics.offer_rejected(
                 self.master.sim.now, message.job, message.worker
             )
@@ -94,6 +104,7 @@ class BaselineMasterPolicy(MasterPolicy):
             self._match()
             return True
         if isinstance(message, JobAccept):
+            self.in_flight.pop(message.job.job_id, None)
             self.master.metrics.offer_accepted(
                 self.master.sim.now, message.job, message.worker
             )
@@ -102,11 +113,27 @@ class BaselineMasterPolicy(MasterPolicy):
         return False
 
     def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
-        """Forget the dead worker's parked pull; its orphans are
-        re-dispatched by the master and answer live pulls instead."""
+        """Forget the dead worker's parked pull and reclaim its unacked
+        offers; its orphans are re-dispatched by the master and answer
+        live pulls instead."""
         self.parked_pulls = deque(
             name for name in self.parked_pulls if name != worker
         )
+        # An offer that died with its offeree goes back to the front of
+        # the queue (JMS redelivery of the unacked message).  A late
+        # JobAccept cannot race this requeue: worker->master delivery is
+        # FIFO per pair, so an accept the worker managed to send before
+        # dying was processed before this WorkerFailure arrived.
+        lost = [
+            job_id
+            for job_id, (offeree, _) in self.in_flight.items()
+            if offeree == worker
+        ]
+        for job_id in reversed(lost):
+            _, job = self.in_flight.pop(job_id)
+            self.job_queue.appendleft(job)
+        if lost:
+            self._match()
 
     def on_worker_retired(self, worker: str) -> None:
         """Scale-down: forget the retiring worker's parked pull so the
@@ -122,6 +149,7 @@ class BaselineMasterPolicy(MasterPolicy):
             job = self.job_queue.popleft()
             prior = self.offer_counts.get(job.job_id, 0)
             self.offer_counts[job.job_id] = prior + 1
+            self.in_flight[job.job_id] = (worker, job)
             self.master.metrics.offer_made(self.master.sim.now, job, worker)
             self.master.send_to_worker(worker, JobOffer(job=job, prior_offers=prior))
 

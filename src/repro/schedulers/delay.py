@@ -21,6 +21,7 @@ from typing import Optional
 
 from repro.engine.messages import JobAccept, JobOffer, NoWork, PullRequest
 from repro.schedulers.base import MasterPolicy, SchedulerPolicy, WorkerPolicy
+from repro.sim.events import AnyOf
 from repro.sim.resources import Store
 from repro.workload.job import Job
 
@@ -42,6 +43,11 @@ class DelayMasterPolicy(MasterPolicy):
         self.skips: dict[str, int] = {}
         self.holdings: dict[str, set[str]] = {}
         self.parked: deque[str] = deque()
+        #: job_id -> (worker, job) for offers awaiting their JobAccept.
+        #: An offered job lives in neither the queue nor the master's
+        #: assignment table, so a crash of the offeree would otherwise
+        #: lose it (requeued in :meth:`on_worker_failed`).
+        self.in_flight: dict[str, tuple[str, Job]] = {}
 
     def on_job(self, job: Job) -> None:
         self.job_queue.append(job)
@@ -58,9 +64,13 @@ class DelayMasterPolicy(MasterPolicy):
                 if self.job_queue:
                     self.master.send_to_worker(message.worker, NoWork(message.worker))
                 else:
-                    self.parked.append(message.worker)
+                    # One parked entry per worker: a retried pull (the
+                    # loss-timeout path) must not claim two offers.
+                    if message.worker not in self.parked:
+                        self.parked.append(message.worker)
             return True
         if isinstance(message, JobAccept):
+            self.in_flight.pop(message.job.job_id, None)
             self.master.metrics.offer_accepted(
                 self.master.sim.now, message.job, message.worker
             )
@@ -69,9 +79,23 @@ class DelayMasterPolicy(MasterPolicy):
         return False
 
     def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
-        """Forget the dead worker's parked pull and its holdings."""
+        """Forget the dead worker's parked pull and its holdings, and
+        reclaim its unacked offers.  A late JobAccept cannot race the
+        requeue: worker->master delivery is FIFO per pair, so an accept
+        sent before the crash was processed before this WorkerFailure."""
         self.parked = deque(name for name in self.parked if name != worker)
         self.holdings.pop(worker, None)
+        lost = [
+            job_id
+            for job_id, (offeree, _) in self.in_flight.items()
+            if offeree == worker
+        ]
+        for job_id in reversed(lost):
+            _, job = self.in_flight.pop(job_id)
+            self.job_queue.appendleft(job)
+            self.skips.setdefault(job.job_id, 0)
+        if lost:
+            self._service_parked()
 
     def _local_for(self, worker: str, job: Job) -> bool:
         return job.repo_id is None or job.repo_id in self.holdings.get(worker, ())
@@ -93,6 +117,7 @@ class DelayMasterPolicy(MasterPolicy):
         return False
 
     def _offer(self, worker: str, job: Job) -> None:
+        self.in_flight[job.job_id] = (worker, job)
         self.master.metrics.offer_made(self.master.sim.now, job, worker)
         self.master.send_to_worker(worker, JobOffer(job=job))
 
@@ -109,13 +134,28 @@ class DelayMasterPolicy(MasterPolicy):
 
 
 class DelayWorkerPolicy(WorkerPolicy):
-    """Pull loop; always accepts (the *master* does the delaying)."""
+    """Pull loop; always accepts (the *master* does the delaying).
 
-    def __init__(self, heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> None:
+    ``response_timeout_s`` bounds the wait for the master's answer --
+    ``PullRequest``/``NoWork`` are droppable control messages under the
+    message-loss extension, and an unbounded wait deadlocks the worker
+    when either side of the exchange is lost (a shrunk fuzzer reproducer
+    for that stall lives in the check tests).  ``None`` -- the paper's
+    loss-free default -- waits indefinitely.
+    """
+
+    def __init__(
+        self,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        response_timeout_s: Optional[float] = None,
+    ) -> None:
         super().__init__()
         if heartbeat_s <= 0:
             raise ValueError("heartbeat_s must be positive")
+        if response_timeout_s is not None and response_timeout_s <= 0:
+            raise ValueError("response_timeout_s must be positive")
         self.heartbeat_s = heartbeat_s
+        self.response_timeout_s = response_timeout_s
         self._responses: Optional[Store] = None
 
     def start(self) -> None:
@@ -128,6 +168,21 @@ class DelayWorkerPolicy(WorkerPolicy):
             return True
         return False
 
+    def _await_response(self):
+        """Wait for the master's answer, bounded by the loss timeout."""
+        get_event = self._responses.get()
+        if self.response_timeout_s is None:
+            response = yield get_event
+            return response
+        deadline = self.worker.sim.timeout(self.response_timeout_s)
+        outcome = yield AnyOf(self.worker.sim, [get_event, deadline])
+        if get_event in outcome:
+            return outcome[get_event]
+        # Timed out: withdraw the pending get so a late answer cannot be
+        # silently swallowed by an event nothing waits on anymore.
+        get_event.cancel()
+        return None
+
     def _pull_loop(self):
         worker = self.worker
         while True:
@@ -136,7 +191,10 @@ class DelayWorkerPolicy(WorkerPolicy):
             if not worker.alive or worker.draining:
                 return
             worker.send_to_master(PullRequest(worker=worker.name))
-            response = yield self._responses.get()
+            response = yield from self._await_response()
+            if response is None:
+                # Pull or answer lost in transit: re-pull.
+                continue
             if isinstance(response, NoWork):
                 yield worker.sim.timeout(self.heartbeat_s)
                 continue
@@ -147,11 +205,15 @@ class DelayWorkerPolicy(WorkerPolicy):
 
 
 def make_delay_policy(
-    max_skips: int = DEFAULT_MAX_SKIPS, heartbeat_s: float = DEFAULT_HEARTBEAT_S
+    max_skips: int = DEFAULT_MAX_SKIPS,
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    response_timeout_s: Optional[float] = None,
 ) -> SchedulerPolicy:
     """Package the delay scheduler for the engine/registry."""
     return SchedulerPolicy(
         name="delay",
         master_factory=lambda: DelayMasterPolicy(max_skips=max_skips),
-        worker_factory=lambda: DelayWorkerPolicy(heartbeat_s=heartbeat_s),
+        worker_factory=lambda: DelayWorkerPolicy(
+            heartbeat_s=heartbeat_s, response_timeout_s=response_timeout_s
+        ),
     )

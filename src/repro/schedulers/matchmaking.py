@@ -32,6 +32,7 @@ from repro.engine.messages import (
     PullRequest,
 )
 from repro.schedulers.base import MasterPolicy, SchedulerPolicy, WorkerPolicy
+from repro.sim.events import AnyOf
 from repro.sim.resources import Store
 from repro.workload.job import Job
 
@@ -50,6 +51,11 @@ class MatchmakingMasterPolicy(MasterPolicy):
         self.holdings: dict[str, set[str]] = {}
         #: Pulls parked because nothing was offerable: (worker, attempt).
         self.parked: deque[tuple[str, int]] = deque()
+        #: job_id -> (worker, job) for offers awaiting their JobAccept.
+        #: An offered job lives in neither the queue nor the master's
+        #: assignment table, so a crash of the offeree would otherwise
+        #: lose it (requeued in :meth:`on_worker_failed`).
+        self.in_flight: dict[str, tuple[str, Job]] = {}
 
     def on_job(self, job: Job) -> None:
         self.job_queue.append(job)
@@ -67,9 +73,19 @@ class MatchmakingMasterPolicy(MasterPolicy):
                     # worker idles one heartbeat (NoWork answer).
                     self.master.send_to_worker(message.worker, NoWork(message.worker))
                 else:
+                    # One parked entry per worker: a retried pull (the
+                    # loss-timeout path) replaces the stale one instead
+                    # of queueing a duplicate offer claim.
+                    if any(entry[0] == message.worker for entry in self.parked):
+                        self.parked = deque(
+                            entry
+                            for entry in self.parked
+                            if entry[0] != message.worker
+                        )
                     self.parked.append((message.worker, message.attempt))
             return True
         if isinstance(message, JobAccept):
+            self.in_flight.pop(message.job.job_id, None)
             self.master.metrics.offer_accepted(
                 self.master.sim.now, message.job, message.worker
             )
@@ -80,9 +96,22 @@ class MatchmakingMasterPolicy(MasterPolicy):
     def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
         """Forget the dead worker's parked pull and its holdings (the
         node's disk is gone; a restarted instance re-announces holdings
-        through future completions)."""
+        through future completions), and reclaim its unacked offers.
+        A late JobAccept cannot race the requeue: worker->master
+        delivery is FIFO per pair, so an accept sent before the crash
+        was processed before this WorkerFailure arrived."""
         self.parked = deque(entry for entry in self.parked if entry[0] != worker)
         self.holdings.pop(worker, None)
+        lost = [
+            job_id
+            for job_id, (offeree, _) in self.in_flight.items()
+            if offeree == worker
+        ]
+        for job_id in reversed(lost):
+            _, job = self.in_flight.pop(job_id)
+            self.job_queue.appendleft(job)
+        if lost:
+            self._service_parked()
 
     def _local_for(self, worker: str, job: Job) -> bool:
         return job.repo_id is None or job.repo_id in self.holdings.get(worker, ())
@@ -103,6 +132,7 @@ class MatchmakingMasterPolicy(MasterPolicy):
         return True
 
     def _offer(self, worker: str, job: Job) -> None:
+        self.in_flight[job.job_id] = (worker, job)
         self.master.metrics.offer_made(self.master.sim.now, job, worker)
         self.master.send_to_worker(worker, JobOffer(job=job))
 
@@ -120,13 +150,28 @@ class MatchmakingMasterPolicy(MasterPolicy):
 
 
 class MatchmakingWorkerPolicy(WorkerPolicy):
-    """Pull loop with the heartbeat/attempt discipline; accepts all offers."""
+    """Pull loop with the heartbeat/attempt discipline; accepts all offers.
 
-    def __init__(self, heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> None:
+    ``response_timeout_s`` bounds the wait for the master's answer.
+    ``PullRequest``/``NoWork`` are control-plane messages, so the
+    message-loss extension may drop either; a bounded wait re-sends the
+    pull instead of blocking forever (the shrunk fuzzer reproducer for
+    that stall lives in the check tests).  ``None`` -- the paper's
+    loss-free default -- waits indefinitely.
+    """
+
+    def __init__(
+        self,
+        heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+        response_timeout_s: Optional[float] = None,
+    ) -> None:
         super().__init__()
         if heartbeat_s <= 0:
             raise ValueError("heartbeat_s must be positive")
+        if response_timeout_s is not None and response_timeout_s <= 0:
+            raise ValueError("response_timeout_s must be positive")
         self.heartbeat_s = heartbeat_s
+        self.response_timeout_s = response_timeout_s
         self._responses: Optional[Store] = None
 
     def start(self) -> None:
@@ -139,6 +184,21 @@ class MatchmakingWorkerPolicy(WorkerPolicy):
             return True
         return False
 
+    def _await_response(self):
+        """Wait for the master's answer, bounded by the loss timeout."""
+        get_event = self._responses.get()
+        if self.response_timeout_s is None:
+            response = yield get_event
+            return response
+        deadline = self.worker.sim.timeout(self.response_timeout_s)
+        outcome = yield AnyOf(self.worker.sim, [get_event, deadline])
+        if get_event in outcome:
+            return outcome[get_event]
+        # Timed out: withdraw the pending get so a late answer cannot be
+        # silently swallowed by an event nothing waits on anymore.
+        get_event.cancel()
+        return None
+
     def _pull_loop(self):
         worker = self.worker
         attempt = 1
@@ -148,7 +208,10 @@ class MatchmakingWorkerPolicy(WorkerPolicy):
             if not worker.alive or worker.draining:
                 return
             worker.send_to_master(PullRequest(worker=worker.name, attempt=attempt))
-            response = yield self._responses.get()
+            response = yield from self._await_response()
+            if response is None:
+                # Pull or answer lost in transit: re-pull, same attempt.
+                continue
             if isinstance(response, NoWork):
                 yield worker.sim.timeout(self.heartbeat_s)
                 attempt += 1
@@ -160,10 +223,15 @@ class MatchmakingWorkerPolicy(WorkerPolicy):
             attempt = 1
 
 
-def make_matchmaking_policy(heartbeat_s: float = DEFAULT_HEARTBEAT_S) -> SchedulerPolicy:
+def make_matchmaking_policy(
+    heartbeat_s: float = DEFAULT_HEARTBEAT_S,
+    response_timeout_s: Optional[float] = None,
+) -> SchedulerPolicy:
     """Package the Matchmaking scheduler for the engine/registry."""
     return SchedulerPolicy(
         name="matchmaking",
         master_factory=MatchmakingMasterPolicy,
-        worker_factory=lambda: MatchmakingWorkerPolicy(heartbeat_s=heartbeat_s),
+        worker_factory=lambda: MatchmakingWorkerPolicy(
+            heartbeat_s=heartbeat_s, response_timeout_s=response_timeout_s
+        ),
     )

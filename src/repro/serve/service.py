@@ -32,6 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.check.invariants import InvariantMonitor
 from repro.cluster.profiles import WorkerProfile
 from repro.engine.master import Master
 from repro.engine.runtime import (
@@ -119,6 +120,10 @@ class ServiceRuntime:
         self.sim = Simulator()
         self.metrics = MetricsCollector()
         self.metrics.trace.enabled = self.config.trace
+        check_cfg = self.config.check_config()
+        #: Live invariant checker (see :mod:`repro.check`), or ``None``.
+        self.monitor = InvariantMonitor(check_cfg) if check_cfg is not None else None
+        self.metrics.monitor = self.monitor
         self.pipeline = single_task_pipeline()
         self.admission = AdmissionController(
             self.sim, admission_config or AdmissionConfig()
@@ -132,11 +137,14 @@ class ServiceRuntime:
         if self.config.message_loss > 0:
             self.topology.broker.drop_probability = self.config.message_loss
             self.topology.broker.rng = streams.get("message-loss")
+        self.topology.broker.monitor = self.monitor
         self._origin = (
             FairSharePipe(self.sim, capacity_mbps=self.config.shared_origin_mbps)
             if self.config.shared_origin_mbps is not None
             else None
         )
+        if self._origin is not None:
+            self._origin.monitor = self.monitor
 
         self.workers: dict[str, WorkerNode] = {}
         for spec in profile.specs:
@@ -150,6 +158,7 @@ class ServiceRuntime:
                 self.config,
                 noise_rng=streams.get("noise", spec.name),
                 origin=self._origin,
+                monitor=self.monitor,
             )
 
         self._master_policy = scheduler.make_master()
@@ -165,6 +174,12 @@ class ServiceRuntime:
             fault_tolerance=self.config.fault_tolerance,
             recovery=faults.recovery if faults is not None else None,
         )
+        if self.monitor is not None:
+            self.master.monitor = self.monitor
+            self.monitor.recovery_enabled = self.master.recovery is not None
+            self.monitor.contest_window_s = getattr(
+                self._master_policy, "window_s", None
+            )
         if hasattr(self._master_policy, "cache_view"):
             self._master_policy.cache_view = {
                 name: set(worker.cache.contents())
@@ -220,6 +235,7 @@ class ServiceRuntime:
                 metrics=self.metrics,
                 restart=lambda name: restart_worker(self, name),
                 loss_rng=self._streams.get("faults", "loss"),
+                monitor=self.monitor,
             )
             self.injector_faults.start()
         self.sim.process(self._injector(), name="service-injector")
@@ -228,6 +244,8 @@ class ServiceRuntime:
             self.autoscaler.start()
         self.sim.process(self._deadline_guard(), name="deadline-guard")
         self.sim.run(until=self.master.done)
+        if self.monitor is not None:
+            self.monitor.final_check()
         return self.report()
 
     def _deadline_guard(self):
@@ -294,6 +312,13 @@ class ServiceRuntime:
                 self.master.submit(job)
             if self.arrivals_closed and self.admission.depth == 0 and self.inflight == 0:
                 self.closed = True
+                if self.monitor is not None:
+                    self.monitor.on_service_close(
+                        self.admission.admitted,
+                        self.slo.completed,
+                        self.slo.failed,
+                        self.sim.now,
+                    )
                 self.master.finish_intake()
                 return
             self._kick = Event(self.sim)
@@ -353,6 +378,7 @@ class ServiceRuntime:
             self.config,
             noise_rng=self._streams.get("noise", name),
             origin=self._origin,
+            monitor=self.monitor,
         )
         self.workers[name] = node
         node.start()

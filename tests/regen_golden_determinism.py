@@ -5,12 +5,18 @@ fixture::
 
     PYTHONPATH=src python tests/regen_golden_determinism.py
 
+CI instead runs the drift gate, which regenerates into memory and fails
+when the committed fixture differs from what the code produces now::
+
+    PYTHONPATH=src python tests/regen_golden_determinism.py --check
+
 Keep the cell parameters below in lockstep with
 ``test_determinism_golden.py`` (that test asserts against exactly this
 recording).
 """
 
 import json
+import sys
 from pathlib import Path
 
 from repro.experiments.runner import CellSpec, run_cell
@@ -22,7 +28,7 @@ SEED = 7
 ITERATIONS = 2
 
 
-def regenerate(path: Path) -> None:
+def record() -> dict:
     golden = {}
     for scheduler in sorted(SCHEDULERS):
         results = run_cell(
@@ -45,11 +51,39 @@ def regenerate(path: Path) -> None:
             }
             for result in results
         ]
+    return golden
+
+
+def regenerate(path: Path) -> None:
     path.write_text(
-        json.dumps(golden, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        json.dumps(record(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     print(f"golden fixture re-recorded at {path}")
 
 
+def check(path: Path) -> int:
+    """Fail (exit 1) when the committed fixture drifts from the code."""
+    committed = json.loads(path.read_text(encoding="utf-8"))
+    current = record()
+    if committed == current:
+        print(f"golden fixture at {path} matches the current code")
+        return 0
+    print(f"golden fixture at {path} DRIFTED from the current code:")
+    for scheduler in sorted(set(committed) | set(current)):
+        was, now = committed.get(scheduler), current.get(scheduler)
+        if was != now:
+            print(f"  {scheduler}:")
+            print(f"    committed: {json.dumps(was, sort_keys=True)}")
+            print(f"    current:   {json.dumps(now, sort_keys=True)}")
+    print(
+        "If the behavioural change is deliberate, re-record with\n"
+        "  PYTHONPATH=src python tests/regen_golden_determinism.py"
+    )
+    return 1
+
+
 if __name__ == "__main__":
-    regenerate(Path(__file__).parent / "golden_determinism.json")
+    fixture = Path(__file__).parent / "golden_determinism.json"
+    if "--check" in sys.argv[1:]:
+        sys.exit(check(fixture))
+    regenerate(fixture)
