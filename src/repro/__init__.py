@@ -21,6 +21,8 @@ A from-scratch Python implementation of the paper's system stack
 * :mod:`repro.metrics`   -- the paper's three metrics + diagnostics,
 * :mod:`repro.check`     -- correctness tooling: runtime invariant
   monitors, a trace-replay oracle, and a shrinking scenario fuzzer,
+* :mod:`repro.obs`       -- observability: causal span tracing,
+  time-series probes, Perfetto/CSV exporters, ASCII timelines,
 * :mod:`repro.experiments` -- one module per table/figure.
 
 Quickstart
@@ -55,9 +57,10 @@ from repro.faults import (
     WorkerCrash,
 )
 from repro.metrics.report import RunResult
+from repro.obs import ObsConfig, build_spans, perfetto_trace, span_coverage
 from repro.serve import ServiceConfig, ServiceReport, ServiceRuntime
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "CheckConfig",
@@ -68,6 +71,7 @@ __all__ = [
     "LinkDegradation",
     "MessageLoss",
     "NetworkPartition",
+    "ObsConfig",
     "OracleMismatch",
     "RecoveryConfig",
     "RunResult",
@@ -77,9 +81,12 @@ __all__ = [
     "WorkerCrash",
     "WorkflowRuntime",
     "WorkflowStalled",
+    "build_spans",
     "compare_schedulers",
+    "perfetto_trace",
     "run_service",
     "run_workflow",
+    "span_coverage",
     "verify_run",
 ]
 

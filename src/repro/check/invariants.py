@@ -274,6 +274,11 @@ class InvariantMonitor:
         #: Bidding window of the run's master policy (None = not bidding,
         #: disables the window-bound law).  Set by the runtime wiring.
         self.contest_window_s: Optional[float] = None
+        #: The run's main :class:`~repro.metrics.trace.Trace`, when one
+        #: is recorded (set by the runtime wiring).  Job-centric
+        #: violations use its per-job index to append the offending
+        #: job's full lifecycle to the violation's event slice.
+        self.trace = None
         self._disabled = frozenset(self.config.disable)
         #: Rolling (time, kind, info) window -- the violation context.
         self.events: deque = deque(maxlen=self.config.recent_events)
@@ -311,10 +316,17 @@ class InvariantMonitor:
     def _note(self, time: float, kind: str, info: str) -> None:
         self.events.append((time, kind, info))
 
-    def _violate(self, name: str, detail: str) -> None:
+    def _violate(self, name: str, detail: str, job_id: Optional[str] = None) -> None:
         if name in self._disabled:
             return
-        raise InvariantViolation(INVARIANTS[name], detail, tuple(self.events))
+        events = tuple(self.events)
+        if job_id is not None and self.trace is not None and self.trace.enabled:
+            lifecycle = tuple(
+                (event.time, f"trace:{event.kind}", f"{event.job_id} @ {event.worker}")
+                for event in self.trace.for_job(job_id)
+            )
+            events = events + lifecycle
+        raise InvariantViolation(INVARIANTS[name], detail, events)
 
     # -- master hooks --------------------------------------------------
 
@@ -334,6 +346,7 @@ class InvariantMonitor:
                 "exactly-once-allocation",
                 f"job {job_id!r} bound to {worker!r} is assignment #{count} "
                 f"but only {permits} dispatch permit(s) were granted",
+                job_id=job_id,
             )
         winner = self._pending_winner.pop(job_id, None)
         if winner is not None and winner != worker:
@@ -341,6 +354,7 @@ class InvariantMonitor:
                 "assignment-matches-winner",
                 f"job {job_id!r} assigned to {worker!r} but its contest "
                 f"closed with winner {winner!r}",
+                job_id=job_id,
             )
 
     def on_redispatched(self, job_id: str, now: float) -> None:
@@ -360,11 +374,13 @@ class InvariantMonitor:
             self._violate(
                 "completion-implies-submission",
                 f"job {job_id!r} completed but was never submitted",
+                job_id=job_id,
             )
         if job_id in self._completed:
             self._violate(
                 "at-most-once-completion",
                 f"job {job_id!r} completed a second time",
+                job_id=job_id,
             )
         self._completed.add(job_id)
 
@@ -383,6 +399,7 @@ class InvariantMonitor:
                 f"duplicate completion for job {job_id!r} from {worker!r}, "
                 "which was never orphaned nor failed -- some component "
                 "allocated or executed it twice",
+                job_id=job_id,
             )
 
     def on_failed(self, job_id: str, now: float) -> None:
@@ -392,6 +409,7 @@ class InvariantMonitor:
             self._violate(
                 "completion-implies-submission",
                 f"job {job_id!r} declared failed but was never submitted",
+                job_id=job_id,
             )
         self._failed.add(job_id)
 
@@ -411,6 +429,7 @@ class InvariantMonitor:
                 "start-consumes-enqueue",
                 f"worker {worker!r} started job {job_id!r} without a "
                 "matching enqueue",
+                job_id=job_id,
             )
             return
         pending.remove(job_id)
@@ -499,6 +518,7 @@ class InvariantMonitor:
                 "contest-per-permit",
                 f"job {job_id!r} announced {count} times but only {allowed} "
                 "contest(s) permitted",
+                job_id=job_id,
             )
         self._announce_times[job_id] = now
         self._open_bidders[job_id] = set()
@@ -541,6 +561,7 @@ class InvariantMonitor:
                     "winner-among-bidders",
                     f"contest for job {job_id!r} closed {outcome!r} with winner "
                     f"{winner!r} who never bid (bidders: {sorted(bidders)})",
+                    job_id=job_id,
                 )
         if winner is not None:
             self._pending_winner[job_id] = winner

@@ -17,6 +17,10 @@ Subcommands map one-to-one onto the experiment modules::
     repro fuzz --budget 60     # randomised scenario fuzzing with shrinking
     repro run --scenario r.json
                                # replay a (shrunk) fuzzer reproducer
+    repro trace run.json       # traced cell -> Perfetto JSON (chrome://tracing)
+    repro trace --timeline     # ASCII timeline + probe sparklines instead
+    repro run --trace-out run.json
+                               # any single cell, with the span trace exported
 
 ``run`` and ``serve`` accept ``--faults`` with an inline JSON
 :class:`~repro.faults.FaultPlan` or ``@path/to/plan.json``, and
@@ -44,7 +48,7 @@ from repro.experiments import (
     tables_msr,
 )
 from repro.experiments.configs import JOB_CONFIG_NAMES, PROFILE_NAMES
-from repro.experiments.runner import CellSpec, run_cell
+from repro.experiments.runner import CellSpec, run_cell_observed
 from repro.metrics.report import format_table
 from repro.schedulers.registry import SCHEDULERS
 
@@ -164,7 +168,62 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under the live invariant monitor (repro.check)",
     )
+    run.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        metavar="FILE",
+        default=None,
+        help="record spans/probes and export a Perfetto trace_event JSON",
+    )
     _add_profile_flag(run)
+
+    trace_cmd = sub.add_parser(
+        "trace",
+        help="run one traced cell: Perfetto export, ASCII timeline, attribution",
+    )
+    trace_cmd.add_argument(
+        "out",
+        nargs="?",
+        default=None,
+        help="Perfetto trace_event JSON output path (omit for console views)",
+    )
+    trace_cmd.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="bidding")
+    trace_cmd.add_argument(
+        "--workload",
+        choices=sorted(set(JOB_CONFIG_NAMES) | {"all_small_strict", "zipf"}),
+        default="80%_small",
+    )
+    trace_cmd.add_argument("--profile", choices=sorted(PROFILE_NAMES), default="all-equal")
+    trace_cmd.add_argument("--seed", type=int, default=11)
+    trace_cmd.add_argument(
+        "--iterations",
+        type=int,
+        default=1,
+        help="cell iterations; the last (warm-cache) one is exported",
+    )
+    trace_cmd.add_argument(
+        "--perfetto",
+        action="store_true",
+        help="write Perfetto JSON even without OUT (defaults to trace.json)",
+    )
+    trace_cmd.add_argument(
+        "--timeline", action="store_true", help="print the ASCII timeline view"
+    )
+    trace_cmd.add_argument(
+        "--attribution",
+        action="store_true",
+        help="print the per-component sim-time attribution table",
+    )
+    trace_cmd.add_argument(
+        "--csv", metavar="PATH", default=None, help="write probe time-series as CSV"
+    )
+    trace_cmd.add_argument(
+        "--json", metavar="PATH", default=None, help="write probe time-series as JSON"
+    )
+    trace_cmd.add_argument(
+        "--interval", type=float, default=1.0, help="probe cadence in simulated seconds"
+    )
+    _add_faults_flag(trace_cmd)
 
     fuzzer = sub.add_parser(
         "fuzz",
@@ -266,6 +325,13 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="run under the live invariant monitor (repro.check)",
     )
+    serve.add_argument(
+        "--trace-out",
+        dest="trace_out",
+        metavar="FILE",
+        default=None,
+        help="record spans/probes and export a Perfetto trace_event JSON",
+    )
     return parser
 
 
@@ -328,10 +394,33 @@ def _run_fuzz(args: argparse.Namespace) -> int:
     return 1 if report.failures else 0
 
 
+def _export_trace(path: str, runtime) -> None:
+    """Write the runtime's span trace as Perfetto JSON and say where."""
+    from repro.obs import build_spans, span_coverage, write_perfetto
+
+    trace = runtime.metrics.trace
+    spans = build_spans(trace)
+    coverage = span_coverage(trace, spans)
+    write_perfetto(
+        path,
+        trace,
+        spans=spans,
+        probes=runtime.obs.probes,
+        flows=runtime.obs.flows,
+    )
+    print(
+        f"trace written to {path} ({len(spans)} spans, "
+        f"{coverage.connected_jobs}/{coverage.completed_jobs} jobs end-to-end); "
+        "load it in chrome://tracing or ui.perfetto.dev"
+    )
+
+
 def _run_single(args: argparse.Namespace) -> None:
     overrides: tuple = ()
     if args.check_invariants:
-        overrides = (("check", True),)
+        overrides += (("check", True),)
+    if args.trace_out:
+        overrides += (("trace", True), ("obs", True))
     spec = CellSpec(
         scheduler=args.scheduler,
         workload=args.workload,
@@ -343,7 +432,9 @@ def _run_single(args: argparse.Namespace) -> None:
         allow_partial=args.allow_partial,
         engine_overrides=overrides,
     )
-    results = run_cell(spec)
+    results, runtime = run_cell_observed(spec)
+    if args.trace_out:
+        _export_trace(args.trace_out, runtime)
     if args.save_json:
         from repro.experiments.report_io import save_json
 
@@ -383,6 +474,71 @@ def _run_single(args: argparse.Namespace) -> None:
     )
 
 
+def _run_trace(args: argparse.Namespace) -> None:
+    from repro.obs import (
+        ObsConfig,
+        attribute,
+        build_spans,
+        render_attribution,
+        render_timeline,
+        span_coverage,
+    )
+
+    spec = CellSpec(
+        scheduler=args.scheduler,
+        workload=args.workload,
+        profile=args.profile,
+        seed=args.seed,
+        iterations=args.iterations,
+        faults=_parse_faults(args.faults),
+        engine_overrides=(
+            ("trace", True),
+            ("obs", ObsConfig(probe_interval_s=args.interval)),
+        ),
+    )
+    results, runtime = run_cell_observed(spec)
+    result = results[-1]
+    trace = runtime.metrics.trace
+    spans = build_spans(trace)
+    coverage = span_coverage(trace, spans)
+    print(
+        f"{args.scheduler} on {args.workload} / {args.profile} (seed {args.seed}): "
+        f"{result.jobs_completed} jobs, makespan {result.makespan_s:.1f}s, "
+        f"{len(spans)} spans, "
+        f"{coverage.connected_jobs}/{coverage.completed_jobs} jobs traced end-to-end"
+    )
+    out = args.out
+    if out is None and args.perfetto:
+        out = "trace.json"
+    if out is not None:
+        _export_trace(out, runtime)
+    if args.csv:
+        from repro.obs import write_timeseries_csv
+
+        write_timeseries_csv(args.csv, runtime.obs.probes)
+        print(f"probe time-series written to {args.csv}")
+    if args.json:
+        from repro.obs import write_timeseries_json
+
+        write_timeseries_json(args.json, runtime.obs.probes)
+        print(f"probe time-series written to {args.json}")
+    # With no output file requested, default to the console views.
+    console_default = out is None and not args.csv and not args.json
+    if args.timeline or (console_default and not args.attribution):
+        print()
+        print(
+            render_timeline(
+                trace,
+                result.makespan_s,
+                probes=runtime.obs.probes,
+                title=f"{args.scheduler} / {args.workload} / {args.profile}",
+            )
+        )
+    if args.attribution or console_default:
+        print()
+        print(render_attribution(attribute(trace, spans, result.makespan_s)))
+
+
 def _run_serve(args: argparse.Namespace) -> None:
     from repro.cluster.profiles import profile_by_name
     from repro.engine.runtime import EngineConfig
@@ -410,10 +566,16 @@ def _run_serve(args: argparse.Namespace) -> None:
             else None
         ),
         service_config=ServiceConfig(duration_s=args.duration, deadline_s=args.deadline),
-        config=EngineConfig(seed=args.seed, check=args.check_invariants),
+        config=EngineConfig(
+            seed=args.seed,
+            check=args.check_invariants,
+            obs=bool(args.trace_out),
+        ),
         faults=_parse_faults(args.faults),
     )
     report = runtime.run()
+    if args.trace_out:
+        _export_trace(args.trace_out, runtime)
     if args.save_json:
         import json
 
@@ -511,6 +673,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if args.scenario is not None:
             return _replay_scenario(args.scenario)
         _maybe_profiled(args, lambda: _run_single(args))
+    elif args.command == "trace":
+        _run_trace(args)
     elif args.command == "fuzz":
         return _run_fuzz(args)
     elif args.command == "bench":

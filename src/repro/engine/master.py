@@ -143,6 +143,9 @@ class Master:
         #: Optional live invariant checker (see :mod:`repro.check`);
         #: attached by the runtime when ``EngineConfig.check`` is set.
         self.monitor = None
+        #: Optional observability recorder (see :mod:`repro.obs`);
+        #: attached by the runtime when ``EngineConfig.obs`` is set.
+        self.obs = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -168,7 +171,10 @@ class Master:
     def assign(self, job: Job, worker: str) -> None:
         """Bind ``job`` to ``worker`` and ship it (push-style policies)."""
         self._note_assignment(job, worker)
-        self.send_to_worker(worker, Assignment(job=job))
+        ctx = None
+        if self.obs is not None:
+            ctx = self.obs.assignment_ctx(job.job_id)
+        self.send_to_worker(worker, Assignment(job=job, ctx=ctx))
 
     def note_external_assignment(self, job: Job, worker: str) -> None:
         """Record an allocation decided worker-side (pull-style accept)."""
@@ -333,6 +339,8 @@ class Master:
             return
         self._completed_ids.add(job.job_id)
         self._assigned_at.pop(job.job_id, None)
+        if self.obs is not None:
+            self.obs.completion_ctx(job.job_id, message.ctx)
         children = self.pipeline.on_completion(job)
         self.policy.on_job_completed(job, message.worker)
         # Submit children *before* completing the parent: outstanding must

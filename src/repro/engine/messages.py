@@ -121,6 +121,10 @@ class Assignment:
     """Master -> worker: you must queue and execute this job."""
 
     job: Job
+    #: Observability span context (:class:`repro.obs.spans.SpanContext`),
+    #: stamped by the master when tracing is on, ``None`` otherwise.
+    #: ``compare=False`` keeps equality/hash independent of tracing.
+    ctx: Optional[Any] = field(default=None, compare=False)
 
 
 @dataclass(frozen=True)
@@ -136,6 +140,8 @@ class JobCompleted:
     result: Any = None
     #: Seconds the worker spent on the job (download + processing).
     elapsed_s: float = 0.0
+    #: The Assignment's span context echoed back (observability only).
+    ctx: Optional[Any] = field(default=None, compare=False)
 
 
 #: Messages carried with persistent (never-dropped) JMS semantics: every

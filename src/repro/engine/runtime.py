@@ -36,6 +36,7 @@ from repro.metrics.report import RunResult
 from repro.net.bandwidth import FairSharePipe
 from repro.net.noise import make_noise
 from repro.net.topology import Topology, TopologyConfig
+from repro.obs.recorder import ObsRecorder, as_obs_config
 from repro.schedulers.base import SchedulerPolicy
 from repro.sim.kernel import Simulator
 from repro.sim.rng import RandomStreams, split_seed
@@ -75,6 +76,14 @@ class EngineConfig:
         conservation/ordering/contest law breaks.  Pass a
         :class:`~repro.check.invariants.CheckConfig` for fine-grained
         control.  Off (the default) costs one attribute test per hook.
+    obs:
+        Observability (see :mod:`repro.obs`): ``True`` attaches an
+        :class:`~repro.obs.recorder.ObsRecorder` -- span-context
+        threading through engine messages, time-series probes, broker
+        flow records -- to every component.  Pass an
+        :class:`~repro.obs.recorder.ObsConfig` for cadence/retention
+        control.  Off (the default) costs one attribute test per hook
+        and keeps runs bit-identical to builds without the subsystem.
     max_sim_time:
         Safety deadline -- a run not finishing by this simulated time
         raises instead of spinning forever.
@@ -96,10 +105,12 @@ class EngineConfig:
     shared_origin_mbps: Optional[float] = None
     trace: bool = True
     check: object = False
+    obs: object = False
     max_sim_time: float = 10_000_000.0
 
     def __post_init__(self) -> None:
         as_check_config(self.check)  # validate eagerly (raises on bad type)
+        as_obs_config(self.obs)
         if not 0 <= self.message_loss < 1:
             raise ValueError("message_loss must be in [0, 1)")
         if self.max_sim_time <= 0:
@@ -111,6 +122,11 @@ class EngineConfig:
         """The normalised :class:`~repro.check.invariants.CheckConfig`,
         or ``None`` when invariant monitoring is off."""
         return as_check_config(self.check)
+
+    def obs_config(self):
+        """The normalised :class:`~repro.obs.recorder.ObsConfig`, or
+        ``None`` when observability is off."""
+        return as_obs_config(self.obs)
 
 
 def build_worker_node(
@@ -125,6 +141,7 @@ def build_worker_node(
     origin=None,
     initial_cache: Optional[dict[str, float]] = None,
     monitor: Optional[InvariantMonitor] = None,
+    obs: Optional[ObsRecorder] = None,
 ) -> WorkerNode:
     """Wire one worker node (machine + cache + policy) for a run.
 
@@ -158,6 +175,7 @@ def build_worker_node(
         prefetch=config.prefetch,
     )
     node.monitor = monitor
+    node.obs = obs
     return node
 
 
@@ -210,6 +228,7 @@ def restart_worker(host, name: str) -> WorkerNode:
         origin=host._origin,
         initial_cache=old.cache.contents() if keep_cache else None,
         monitor=getattr(host, "monitor", None),
+        obs=getattr(host, "obs", None),
     )
     host.workers[name] = node
     host.master.revive_worker(name)
@@ -272,6 +291,16 @@ class WorkflowRuntime:
             InvariantMonitor(check_cfg) if check_cfg is not None else None
         )
         self.metrics.monitor = self.monitor
+        if self.monitor is not None:
+            # Violations enrich themselves with the offending job's
+            # lifecycle straight from the trace (indexed, so O(1)-ish).
+            self.monitor.trace = self.metrics.trace
+
+        obs_cfg = self.config.obs_config()
+        #: Live observability recorder (see :mod:`repro.obs`), or ``None``.
+        self.obs: Optional[ObsRecorder] = (
+            ObsRecorder(self.sim, obs_cfg) if obs_cfg is not None else None
+        )
 
         # The pipeline may need simulation-bound services (e.g. the
         # GitHub model), hence the factory variant taking the fresh sim.
@@ -290,6 +319,7 @@ class WorkflowRuntime:
             self.topology.broker.drop_probability = self.config.message_loss
             self.topology.broker.rng = streams.get("message-loss")
         self.topology.broker.monitor = self.monitor
+        self.topology.broker.obs = self.obs
 
         origin = (
             FairSharePipe(self.sim, capacity_mbps=self.config.shared_origin_mbps)
@@ -298,6 +328,8 @@ class WorkflowRuntime:
         )
         if origin is not None:
             origin.monitor = self.monitor
+            origin.obs = self.obs
+            origin.obs_label = "origin"
         self._origin = origin
 
         self.workers: dict[str, WorkerNode] = {}
@@ -314,6 +346,7 @@ class WorkflowRuntime:
                 origin=origin,
                 initial_cache=(initial_caches or {}).get(spec.name),
                 monitor=self.monitor,
+                obs=self.obs,
             )
 
         master_policy = scheduler.make_master()
@@ -336,6 +369,9 @@ class WorkflowRuntime:
             # The bidding policy exposes its window; the monitor uses it
             # to bound contest durations (None disables that law).
             self.monitor.contest_window_s = getattr(master_policy, "window_s", None)
+        if self.obs is not None:
+            self.master.obs = self.obs
+            self._register_probes()
         # Centralized policies get the driver's block-location view
         # (what is cached where *now*; they never see later changes).
         if hasattr(master_policy, "cache_view"):
@@ -356,6 +392,66 @@ class WorkflowRuntime:
                 for spec in profile.specs
             }
 
+    def _register_probes(self) -> None:
+        """Register the standard workflow gauges on the obs recorder.
+
+        Lambdas resolve workers by *name* through ``self.workers``, so
+        restart-swapped nodes are picked up automatically (mirrors the
+        fault injector's read-at-action-time contract).
+        """
+        probes = self.obs.probes
+        master = self.master
+        probes.register("master.outstanding", lambda: master.outstanding, unit="jobs")
+        probes.register("fleet.active", lambda: len(master.active_workers), unit="workers")
+        probes.register(
+            "fleet.busy",
+            lambda: sum(
+                1 for w in self.workers.values() if w.alive and not w.is_idle
+            ),
+            unit="workers",
+        )
+        probes.register(
+            "links.busy",
+            lambda: sum(
+                1 for w in self.workers.values() if w.alive and w.machine.link.busy
+            ),
+            unit="links",
+        )
+        policy = self._master_policy
+        if hasattr(policy, "in_flight"):
+            probes.register(
+                "offers.in_flight", lambda: len(policy.in_flight), unit="offers"
+            )
+        if hasattr(policy, "contests"):
+            # The policy keeps closed contests in the map (late-bid
+            # diagnostics), so count status, not membership.
+            probes.register(
+                "contests.open",
+                lambda: sum(
+                    1
+                    for contest in policy.contests.values()
+                    if contest.status.value == "open"
+                ),
+                unit="contests",
+            )
+        if self._origin is not None:
+            origin = self._origin
+            probes.register(
+                "origin.active", lambda: origin.active_count, unit="transfers"
+            )
+        for name in self.workers:
+            probes.register(
+                f"worker.{name}.queue",
+                lambda name=name: self.workers[name].queued_count,
+                unit="jobs",
+            )
+            probes.register(
+                f"worker.{name}.busy",
+                lambda name=name: int(
+                    self.workers[name].alive and not self.workers[name].is_idle
+                ),
+            )
+
     # -- execution ----------------------------------------------------------
 
     def run(self) -> RunResult:
@@ -368,6 +464,8 @@ class WorkflowRuntime:
         self.master.start()
         for worker in self.workers.values():
             worker.start()
+        if self.obs is not None:
+            self.obs.start()
         if self.faults is not None and not self.faults.is_trivial:
             self.injector = FaultInjector(
                 sim=self.sim,
@@ -384,6 +482,8 @@ class WorkflowRuntime:
             self.injector.start()
         self.sim.process(self._deadline_guard(), name="deadline-guard")
         self.sim.run(until=self.master.done)
+        if self.obs is not None:
+            self.obs.finish()
         if self.monitor is not None:
             # End-of-run conservation laws come before the partial-failure
             # escalation: a broken law is the more fundamental error.

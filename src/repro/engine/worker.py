@@ -116,6 +116,11 @@ class WorkerNode:
         #: Optional live invariant checker (see :mod:`repro.check`);
         #: attached by the runtime when ``EngineConfig.check`` is set.
         self.monitor = None
+        #: Optional observability recorder (see :mod:`repro.obs`);
+        #: attached by the runtime when ``EngineConfig.obs`` is set.
+        self.obs = None
+        #: job_id -> span context from the Assignment, echoed on completion.
+        self._assign_ctxs: dict[str, object] = {}
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -210,6 +215,12 @@ class WorkerNode:
                         WorkerFailure(worker=self.name, orphaned=(job,))
                     )
                 continue
+            if self.obs is not None and isinstance(message, Assignment) and message.ctx is not None:
+                # Capture the span context before the policy sees the
+                # message: bidding-style policies consume Assignments
+                # themselves, and the echo on JobCompleted must survive
+                # either dispatch path.
+                self._assign_ctxs[message.job.job_id] = message.ctx
             if self.policy.on_message(message):
                 continue
             if isinstance(message, Assignment):
@@ -248,8 +259,11 @@ class WorkerNode:
             self._outstanding_jobs -= 1
             self.unfinished.pop(job.job_id, None)
             self.policy.on_job_finished(job, elapsed)
+            ctx = None
+            if self.obs is not None:
+                ctx = self._assign_ctxs.pop(job.job_id, None)
             self.send_to_master(
-                JobCompleted(job=job, worker=self.name, elapsed_s=elapsed)
+                JobCompleted(job=job, worker=self.name, elapsed_s=elapsed, ctx=ctx)
             )
             if self.is_idle:
                 self._wake_idle_waiters()

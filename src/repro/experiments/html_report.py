@@ -252,6 +252,96 @@ def tables_section(tables: MSRTables) -> str:
 
 
 @dataclass
+class ObsInputs:
+    """One traced cell feeding the observability section."""
+
+    scheduler: str
+    workload: str
+    profile: str
+    seed: int
+    jobs: int
+    makespan_s: float
+    span_count: int
+    coverage_connected: int
+    coverage_completed: int
+    attribution: object  # repro.obs.Attribution
+    timeline: str
+
+
+def run_obs(seed: int = 11) -> ObsInputs:
+    """Run one small fixed-seed cell with tracing on and summarise it."""
+    from repro.experiments.runner import CellSpec, run_cell_observed
+    from repro.obs import attribute, build_spans, render_timeline, span_coverage
+
+    spec = CellSpec(
+        scheduler="bidding",
+        workload="80%_small",
+        profile="fast-slow",
+        seed=seed,
+        iterations=1,
+        engine_overrides=(("trace", True), ("obs", True)),
+    )
+    results, runtime = run_cell_observed(spec)
+    result = results[-1]
+    trace = runtime.metrics.trace
+    spans = build_spans(trace)
+    coverage = span_coverage(trace, spans)
+    return ObsInputs(
+        scheduler=spec.scheduler,
+        workload=spec.workload,
+        profile=spec.profile,
+        seed=seed,
+        jobs=result.jobs_completed,
+        makespan_s=result.makespan_s,
+        span_count=len(spans),
+        coverage_connected=coverage.connected_jobs,
+        coverage_completed=coverage.completed_jobs,
+        attribution=attribute(trace, spans, result.makespan_s),
+        timeline=render_timeline(
+            trace,
+            result.makespan_s,
+            probes=runtime.obs.probes,
+            title=f"{spec.scheduler} / {spec.workload} / {spec.profile}",
+        ),
+    )
+
+
+def obs_section(obs: ObsInputs) -> str:
+    """Span coverage + sim-time attribution + timeline (repro.obs)."""
+    max_total = max((row.total_s for row in obs.attribution.rows), default=0.0) or 1.0
+    att_rows = "".join(
+        "<tr>"
+        f'<td style="padding-left:{0.7 + row.depth * 1.4:.1f}em">'
+        f"{html.escape(row.component)}</td>"
+        f"<td>{row.total_s:,.1f}</td>"
+        f"<td>{row.count}</td>"
+        f"<td>{row.mean_s:.2f}</td>"
+        '<td style="text-align:left;min-width:220px">'
+        f'<div style="background:{COLOR_A};height:.8em;border-radius:2px;'
+        f'width:{row.total_s / max_total * 100:.1f}%"></div></td>'
+        "</tr>"
+        for row in obs.attribution.rows
+    )
+    return (
+        "<h2>Observability — span trace of one cell</h2>"
+        f'<p class="note">{html.escape(obs.scheduler)} on '
+        f"{html.escape(obs.workload)} / {html.escape(obs.profile)} "
+        f"(seed {obs.seed}): {obs.jobs} jobs, makespan {obs.makespan_s:.1f}s, "
+        f"{obs.span_count} spans, {obs.coverage_connected}/{obs.coverage_completed} "
+        "jobs traced end-to-end. Regenerate with "
+        "<code>repro trace run.json</code> and load the JSON in "
+        "chrome://tracing or ui.perfetto.dev.</p>"
+        "<h3>Sim-time attribution</h3>"
+        "<table><thead><tr><th>component</th><th>total [s]</th><th>count</th>"
+        "<th>mean [s]</th><th>share</th></tr></thead>"
+        f"<tbody>{att_rows}</tbody></table>"
+        "<h3>Timeline</h3>"
+        f'<pre style="font-size:.78rem;line-height:1.25">'
+        f"{html.escape(obs.timeline)}</pre>"
+    )
+
+
+@dataclass
 class ReportInputs:
     """Pre-computed experiment results feeding the report."""
 
@@ -259,6 +349,7 @@ class ReportInputs:
     fig3: Fig3Result
     fig4: Fig4Result
     tables: MSRTables
+    obs: Optional[ObsInputs] = None
 
 
 def build_report(inputs: ReportInputs) -> str:
@@ -269,6 +360,8 @@ def build_report(inputs: ReportInputs) -> str:
         fig4_section(inputs.fig4),
         tables_section(inputs.tables),
     ]
+    if inputs.obs is not None:
+        sections.append(obs_section(inputs.obs))
     return (
         "<!DOCTYPE html><html><head><meta charset='utf-8'>"
         "<title>Reproduction report: Distributed Data Locality-Aware Job Allocation</title>"
@@ -287,6 +380,7 @@ def generate(
     out: Union[str, Path],
     seeds: tuple[int, ...] = (11,),
     parallel: Optional[int] = None,
+    observability: bool = True,
 ) -> Path:
     """Run all experiments and write the report; returns the path."""
     inputs = ReportInputs(
@@ -294,6 +388,7 @@ def generate(
         fig3=run_fig3(seeds=seeds, parallel=parallel),
         fig4=run_fig4(seeds=seeds, parallel=parallel),
         tables=run_tables(),
+        obs=run_obs(seed=seeds[0]) if observability else None,
     )
     path = Path(out)
     path.parent.mkdir(parents=True, exist_ok=True)

@@ -74,12 +74,26 @@ def run_cell(spec: CellSpec) -> list[RunResult]:
     iteration from the cell seed -- the paper re-executes the same
     configuration so data locality from prior executions can show.
     """
+    results, _runtime = run_cell_observed(spec)
+    return results
+
+
+def run_cell_observed(spec: CellSpec) -> tuple[list[RunResult], WorkflowRuntime]:
+    """Like :func:`run_cell`, but also return the *last* runtime.
+
+    The observability consumers (``repro trace``, the HTML report's obs
+    section) need the live :class:`~repro.engine.runtime.WorkflowRuntime`
+    after it ran -- its trace, probe registry, recorded flows -- not just
+    the scalar :class:`RunResult` rows.  The last iteration is the
+    interesting one: caches are warm, matching the paper's steady state.
+    """
     job_config = job_config_by_name(spec.workload)
     if spec.workload_overrides:
         job_config = replace(job_config, **dict(spec.workload_overrides))
     _corpus, stream = job_config.build(seed=spec.seed)
     caches: Optional[dict[str, dict[str, float]]] = None
     results: list[RunResult] = []
+    runtime: Optional[WorkflowRuntime] = None
     for iteration in range(spec.iterations):
         scheduler = make_scheduler(spec.scheduler, **dict(spec.scheduler_kwargs))
         runtime = WorkflowRuntime(
@@ -95,7 +109,8 @@ def run_cell(spec: CellSpec) -> list[RunResult]:
         results.append(runtime.run())
         if spec.keep_cache:
             caches = runtime.cache_snapshot()
-    return results
+    assert runtime is not None  # iterations >= 1 by construction
+    return results, runtime
 
 
 def expand_matrix(

@@ -14,7 +14,10 @@ graph acyclic (engine imports faults, never the reverse).
 
 Every action is appended to :attr:`FaultInjector.events` as
 ``(time, kind, detail)`` tuples -- the reproducibility tests compare
-these logs across runs of the same seed.
+these logs across runs of the same seed.  Each action is also surfaced
+into the run's main :class:`~repro.metrics.trace.Trace` as a ``fault_*``
+event, so exported timelines show crashes, partitions and heals next to
+the job lifecycle.
 """
 
 from __future__ import annotations
@@ -29,6 +32,24 @@ from repro.faults.plan import (
     NetworkPartition,
     WorkerCrash,
 )
+
+#: Injector action kind -> ``fault_*`` trace event kind.
+_FAULT_KIND = {
+    "crash": "fault_crash",
+    "crash-skipped": "fault_crash_skipped",
+    "restart": "fault_restart",
+    "restart-skipped": "fault_restart_skipped",
+    "degrade": "fault_degrade",
+    "restore": "fault_restore",
+    "partition": "fault_partition",
+    "heal": "fault_heal",
+    "loss-start": "fault_loss_start",
+    "loss-end": "fault_loss_end",
+}
+
+#: Kinds whose ``detail`` is a bare worker name (stored in the trace
+#: event's ``worker`` column instead of ``detail``).
+_WORKER_DETAIL = frozenset({"crash", "restart"})
 
 
 class FaultInjector:
@@ -105,6 +126,10 @@ class FaultInjector:
         if self.monitor is not None:
             self.monitor.on_fault(kind, detail, self.sim.now)
         self.events.append((self.sim.now, kind, detail))
+        if kind in _WORKER_DETAIL:
+            self.metrics.record_fault(self.sim.now, _FAULT_KIND[kind], worker=detail)
+        else:
+            self.metrics.record_fault(self.sim.now, _FAULT_KIND[kind], detail=detail)
 
     def _candidates(self, targets=()) -> list[str]:
         """Workers eligible to be killed right now (alive + active)."""

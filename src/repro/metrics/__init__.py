@@ -14,7 +14,7 @@ rows the experiment harness prints.
 """
 
 from repro.metrics.analysis import RunAnalysis, summarize
-from repro.metrics.ascii_chart import bar_chart, grouped_bar_chart
+from repro.metrics.ascii_chart import bar_chart, grouped_bar_chart, sparkline
 from repro.metrics.collector import MetricsCollector, WorkerMetrics
 from repro.metrics.report import (
     RunResult,
@@ -42,6 +42,7 @@ __all__ = [
     "mean",
     "mean_std",
     "percent_change",
+    "sparkline",
     "speedup",
     "summarize",
 ]

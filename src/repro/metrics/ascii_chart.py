@@ -22,6 +22,9 @@ from typing import Optional, Sequence
 _BLOCKS = ("", "▏", "▎", "▍", "▌", "▋", "▊", "▉")
 _FULL = "█"
 
+#: Eighth-block characters for vertical sparkline resolution.
+_SPARKS = ("▁", "▂", "▃", "▄", "▅", "▆", "▇", "█")
+
 
 def _bar(value: float, max_value: float, width: int) -> str:
     """A horizontal bar of ``value`` scaled so ``max_value`` fills ``width``."""
@@ -59,6 +62,44 @@ def bar_chart(
             f"{fmt.format(value)}{suffix}"
         )
     return "\n".join(lines)
+
+
+def sparkline(
+    values: Sequence[float],
+    width: Optional[int] = None,
+    max_value: Optional[float] = None,
+) -> str:
+    """Render a value series as a one-line unicode sparkline.
+
+    ``width`` resamples the series to that many columns (bucket means),
+    so long probe series fit a terminal line.  ``max_value`` pins the
+    top of the scale (defaults to the series maximum); an all-zero or
+    flat-at-zero series renders as the lowest block per column.
+    """
+    if not values:
+        raise ValueError("empty series")
+    for value in values:
+        if value < 0:
+            raise ValueError("sparkline values must be non-negative")
+    if width is not None and width < 1:
+        raise ValueError("width must be positive")
+    series = list(values)
+    if width is not None and len(series) > width:
+        buckets: list[float] = []
+        for column in range(width):
+            start = column * len(series) // width
+            stop = (column + 1) * len(series) // width
+            chunk = series[start:stop] or [series[start]]
+            buckets.append(sum(chunk) / len(chunk))
+        series = buckets
+    top = max_value if max_value is not None else max(series)
+    if top <= 0:
+        return _SPARKS[0] * len(series)
+    cells = []
+    for value in series:
+        level = int(min(value, top) / top * (len(_SPARKS) - 1) + 0.5)
+        cells.append(_SPARKS[level])
+    return "".join(cells)
 
 
 def grouped_bar_chart(

@@ -202,6 +202,16 @@ class MetricsCollector:
         self.duplicates_suppressed += 1
         self.trace.record(now, "duplicate_suppressed", job.job_id, worker)
 
+    def record_fault(
+        self, now: float, kind: str, worker: Optional[str] = None, detail: object = None
+    ) -> None:
+        """Surface a fault-injector action (``fault_*`` kind) into the trace.
+
+        Faults are fleet-level events, so they carry the placeholder job
+        id ``"-"`` like worker join/crash events do.
+        """
+        self.trace.record(now, kind, "-", worker, detail)
+
     # -- scheduling overhead ---------------------------------------------------
 
     def contest_opened(self, now: float, job: Job) -> None:

@@ -22,6 +22,13 @@ Event kinds
 ``completed``   worker finished the job
 ``shed``        admission control turned the job away (detail = reason)
 ``worker_joined`` / ``worker_retired``  fleet elasticity (worker = name)
+``fault_*``     fault-injector actions (crash, restart, degrade, restore,
+                partition, heal, loss window edges, skipped actions) --
+                surfaced into the main trace so exported timelines show
+                injected chaos alongside the job lifecycle
+
+Fleet-level events (worker joins, crashes, fault-injector actions) carry
+the placeholder job id ``"-"``.
 """
 
 from __future__ import annotations
@@ -54,6 +61,16 @@ EVENT_KINDS = frozenset(
         "redispatched",
         "failed",
         "duplicate_suppressed",
+        "fault_crash",
+        "fault_crash_skipped",
+        "fault_restart",
+        "fault_restart_skipped",
+        "fault_degrade",
+        "fault_restore",
+        "fault_partition",
+        "fault_heal",
+        "fault_loss_start",
+        "fault_loss_end",
     }
 )
 
@@ -83,6 +100,16 @@ class Trace:
 
     enabled: bool = True
     events: list[TraceEvent] = field(default_factory=list)
+    # Lazily built per-job index.  ``for_job``/``first`` used to scan the
+    # whole event list per call, making trace post-processing
+    # O(jobs * events) -- the analysis narration and the replay oracle
+    # call them once per job.  The index is extended incrementally from a
+    # watermark, so interleaved record/query patterns stay cheap, and is
+    # rebuilt from scratch only if the event list was truncated externally.
+    _by_job: Optional[dict[str, list[TraceEvent]]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _indexed_upto: int = field(default=0, init=False, repr=False, compare=False)
 
     def record(
         self,
@@ -96,6 +123,22 @@ class Trace:
         if not self.enabled:
             return
         self.events.append(TraceEvent(time, kind, job_id, worker, detail))
+
+    def _index(self) -> dict[str, list[TraceEvent]]:
+        """Return the per-job index, catching up on newly recorded events."""
+        if self._by_job is None or self._indexed_upto > len(self.events):
+            self._by_job = {}
+            self._indexed_upto = 0
+        if self._indexed_upto < len(self.events):
+            by_job = self._by_job
+            for event in self.events[self._indexed_upto :]:
+                bucket = by_job.get(event.job_id)
+                if bucket is None:
+                    by_job[event.job_id] = [event]
+                else:
+                    bucket.append(event)
+            self._indexed_upto = len(self.events)
+        return self._by_job
 
     def __len__(self) -> int:
         return len(self.events)
@@ -111,12 +154,12 @@ class Trace:
 
     def for_job(self, job_id: str) -> list[TraceEvent]:
         """The full lifecycle of one job."""
-        return [event for event in self.events if event.job_id == job_id]
+        return list(self._index().get(job_id, ()))
 
     def first(self, kind: str, job_id: str) -> Optional[TraceEvent]:
         """Earliest event of ``kind`` for ``job_id`` (None if absent)."""
-        for event in self.events:
-            if event.kind == kind and event.job_id == job_id:
+        for event in self._index().get(job_id, ()):
+            if event.kind == kind:
                 return event
         return None
 

@@ -73,6 +73,10 @@ class FairSharePipe:
         #: Optional live invariant checker (see :mod:`repro.check`);
         #: attached by the runtime when ``EngineConfig.check`` is set.
         self.monitor = None
+        #: Optional observability recorder (see :mod:`repro.obs`) plus
+        #: the label it files this pipe's occupancy series under.
+        self.obs = None
+        self.obs_label = "pipe"
 
     # -- public API ------------------------------------------------------
 
@@ -104,6 +108,8 @@ class FairSharePipe:
         self._settle()
         self._active.append(_Transfer(size_mb, done, self.sim.now))
         self._rem = np.append(self._rem, size_mb)
+        if self.obs is not None:
+            self.obs.on_pipe_sample(self.obs_label, len(self._active), self.sim.now)
         self._reschedule()
         return done
 
@@ -156,6 +162,8 @@ class FairSharePipe:
                 for i in finished_idx[::-1]:
                     del active[i]
                 self._rem = rem = np.delete(rem, finished_idx)
+                if self.obs is not None:
+                    self.obs.on_pipe_sample(self.obs_label, len(active), now)
             if not active:
                 self._timer.cancel()
                 return

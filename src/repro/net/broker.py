@@ -112,6 +112,10 @@ class Broker:
         #: Optional live invariant checker (see :mod:`repro.check`);
         #: attached by the runtime when ``EngineConfig.check`` is set.
         self.monitor = None
+        #: Optional observability recorder (see :mod:`repro.obs`);
+        #: attached by the runtime when ``EngineConfig.obs`` is set.
+        #: Records publish->deliver flow pairs for messaging-latency tracks.
+        self.obs = None
 
     def subscribe(self, topic: str, name: str, latency: float = 0.0) -> Subscription:
         """Register a subscriber mailbox on ``topic``.
@@ -193,6 +197,8 @@ class Broker:
         self.published += 1
         if self.monitor is not None:
             self.monitor.on_publish(topic, message, sender, self.sim.now)
+        if self.obs is not None:
+            self.obs.on_publish(topic, message, self.sim.now)
         subscriptions = self._topics.get(topic, ())
         if not subscriptions:
             return 0
@@ -244,6 +250,8 @@ class Broker:
         """Point-to-point delivery to one known mailbox."""
         if self.monitor is not None:
             self.monitor.on_publish(subscription.topic, message, sender, self.sim.now)
+        if self.obs is not None:
+            self.obs.on_publish(subscription.topic, message, self.sim.now)
         self._deliver(subscription, message, reliable=reliable, sender=sender)
 
     def _deliver(
@@ -281,14 +289,23 @@ class Broker:
             self.monitor.on_deliver(
                 subscription.topic, subscription.name, message, self.sim.now
             )
+        if self.obs is not None:
+            self.obs.on_deliver(
+                subscription.topic, subscription.name, message, self.sim.now
+            )
         subscription.queue.put(message)
         subscription.delivered += 1
 
     def _deliver_batch(self, group: list[Subscription], message: Any) -> None:
         monitor = self.monitor
+        obs = self.obs
         for subscription in group:
             if monitor is not None:
                 monitor.on_deliver(
+                    subscription.topic, subscription.name, message, self.sim.now
+                )
+            if obs is not None:
+                obs.on_deliver(
                     subscription.topic, subscription.name, message, self.sim.now
                 )
             subscription.queue.put(message)

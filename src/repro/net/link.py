@@ -79,6 +79,16 @@ class Link:
         #: measured-speed learning mode of Section 6.4.
         self.last_realised_mbps: Optional[float] = None
 
+    @property
+    def busy(self) -> bool:
+        """Whether a transfer currently holds (or waits on) the link.
+
+        A cheap gauge for the observability probes: dedicated links are
+        capacity-1, so any holder or queued requester means the link is
+        occupied.
+        """
+        return self._mutex.count > 0 or self._mutex.waiting > 0
+
     def nominal_transfer_time(self, size_mb: float) -> float:
         """The *estimate* a worker would bid: latency + size / nominal speed."""
         return self.latency + size_mb / self.bandwidth_mbps

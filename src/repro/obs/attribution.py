@@ -1,0 +1,144 @@
+"""Where did the sim time go: per-component attribution.
+
+Aggregates the span tree into a flamegraph-style table answering the
+question the paper's Section 6.3/6.4 analysis keeps asking by hand:
+for the jobs in this run, how much time was spent scheduling
+(submission -> binding, split out into contest time), waiting in worker
+queues, transferring data, and actually computing -- and how busy was
+the fleet overall.
+
+All figures are *job-seconds* (summed across jobs), so parents bound
+their children like a flamegraph: ``job >= schedule + queued + execute``
+and ``execute >= transfer`` (transfers overlapping execution).  Compute
+is derived as ``execute - transfer`` per job, clamped at zero, because
+downloads may fully hide under compute or vice versa.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.trace import Trace
+from repro.obs.spans import Span, build_spans
+
+
+@dataclass(frozen=True)
+class AttributionRow:
+    """One component line: totals across jobs plus the per-job mean."""
+
+    component: str
+    depth: int
+    total_s: float
+    count: int
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+@dataclass(frozen=True)
+class Attribution:
+    """The full breakdown for one run."""
+
+    rows: tuple[AttributionRow, ...]
+    jobs: int
+    makespan: float
+    fleet_busy_fraction: Optional[float]
+
+    def row(self, component: str) -> Optional[AttributionRow]:
+        for row in self.rows:
+            if row.component == component:
+                return row
+        return None
+
+
+#: (component, depth, parent span names) rendering order.
+_LAYOUT = (
+    ("job", 0),
+    ("schedule", 1),
+    ("contest", 2),
+    ("queued", 1),
+    ("execute", 1),
+    ("transfer", 2),
+    ("compute", 2),
+    ("recovery", 1),
+)
+
+
+def attribute(
+    trace: Trace,
+    spans: Optional[list[Span]] = None,
+    makespan: Optional[float] = None,
+    worker_count: Optional[int] = None,
+) -> Attribution:
+    """Aggregate span durations into the component table."""
+    if spans is None:
+        spans = build_spans(trace)
+
+    totals: dict[str, float] = {}
+    counts: dict[str, int] = {}
+    execute_by_job: dict[str, float] = {}
+    transfer_by_job: dict[str, float] = {}
+    jobs: set[str] = set()
+    for span in spans:
+        totals[span.name] = totals.get(span.name, 0.0) + span.duration
+        counts[span.name] = counts.get(span.name, 0) + 1
+        jobs.add(span.trace_id)
+        if span.name == "execute":
+            execute_by_job[span.trace_id] = (
+                execute_by_job.get(span.trace_id, 0.0) + span.duration
+            )
+        elif span.name == "transfer":
+            transfer_by_job[span.trace_id] = (
+                transfer_by_job.get(span.trace_id, 0.0) + span.duration
+            )
+
+    # Compute = execute minus overlapping transfer time, per job.
+    compute_total = 0.0
+    compute_count = 0
+    for job_id, execute_s in execute_by_job.items():
+        compute_total += max(0.0, execute_s - transfer_by_job.get(job_id, 0.0))
+        compute_count += 1
+    if compute_count:
+        totals["compute"] = compute_total
+        counts["compute"] = compute_count
+
+    rows = tuple(
+        AttributionRow(component, depth, totals[component], counts[component])
+        for component, depth in _LAYOUT
+        if component in totals
+    )
+
+    if makespan is None:
+        makespan = trace.events[-1].time - trace.events[0].time if trace.events else 0.0
+    busy: Optional[float] = None
+    if worker_count and makespan > 0:
+        busy = totals.get("execute", 0.0) / (worker_count * makespan)
+
+    return Attribution(rows, len(jobs), makespan, busy)
+
+
+def render_attribution(attribution: Attribution, width: int = 34) -> str:
+    """Render the table as indented text with proportional bars."""
+    lines = [
+        f"time attribution ({attribution.jobs} jobs, "
+        f"makespan {attribution.makespan:.1f} s)"
+    ]
+    top = max((row.total_s for row in attribution.rows), default=0.0)
+    for row in attribution.rows:
+        indent = "  " * row.depth
+        bar = ""
+        if top > 0:
+            bar = "#" * max(1, round(row.total_s / top * width)) if row.total_s else ""
+        label = f"{indent}{row.component}"
+        lines.append(
+            f"{label:<18} {row.total_s:>10.1f} s  "
+            f"x{row.count:<5d} mean {row.mean_s:>8.2f} s  {bar}"
+        )
+    if attribution.fleet_busy_fraction is not None:
+        lines.append(f"fleet busy fraction: {attribution.fleet_busy_fraction:.1%}")
+    return "\n".join(lines)
+
+
+__all__ = ["Attribution", "AttributionRow", "attribute", "render_attribution"]

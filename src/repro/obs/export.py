@@ -1,0 +1,203 @@
+"""Exporters: Chrome/Perfetto ``trace_event`` JSON and time-series dumps.
+
+The Perfetto export follows the legacy Chrome ``trace_event`` format
+(the JSON flavour both ``chrome://tracing`` and ui.perfetto.dev load):
+
+* one *thread* per track (master, each worker, broker, faults), named
+  via ``ph:"M"`` metadata events,
+* every span as a ``ph:"X"`` complete event (``ts``/``dur`` in
+  microseconds of sim time),
+* every probe series as ``ph:"C"`` counter events,
+* fault-injector actions as ``ph:"i"`` instant events on the faults
+  track,
+* broker publish->deliver pairs as ``ph:"X"`` slices on the broker
+  track (message latency made visible).
+
+Output ordering is fully deterministic for a fixed trace, which lets a
+golden-fixture test pin the exact JSON for a fixed-seed run.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Optional
+
+from repro.metrics.trace import Trace
+from repro.obs.spans import Span, build_spans
+
+_PID = 1
+_US = 1_000_000  # sim seconds -> trace microseconds
+
+
+def _track_order(trace: Trace, spans: list[Span]) -> list[str]:
+    """Stable track list: master first, then workers sorted, then extras."""
+    tracks = {span.track for span in spans}
+    tracks.update(
+        event.worker
+        for event in trace.events
+        if event.kind in ("started", "completed") and event.worker
+    )
+    tracks.discard("master")
+    ordered = ["master"] + sorted(tracks)
+    ordered.append("broker")
+    ordered.append("faults")
+    return ordered
+
+
+def perfetto_trace(
+    trace: Trace,
+    spans: Optional[list[Span]] = None,
+    probes=None,
+    flows=None,
+    label: str = "repro",
+) -> dict:
+    """Build the ``{"traceEvents": [...]}`` document as plain dicts."""
+    if spans is None:
+        spans = build_spans(trace)
+    events: list[dict] = []
+
+    tracks = _track_order(trace, spans)
+    tids = {name: index for index, name in enumerate(tracks)}
+    events.append(
+        {
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "name": "process_name",
+            "args": {"name": label},
+        }
+    )
+    for name in tracks:
+        events.append(
+            {
+                "ph": "M",
+                "pid": _PID,
+                "tid": tids[name],
+                "name": "thread_name",
+                "args": {"name": name},
+            }
+        )
+
+    for span in spans:
+        tid = tids.get(span.track, tids["master"])
+        args = {key: value for key, value in span.attrs if value is not None}
+        args["trace_id"] = span.trace_id
+        args["span_id"] = span.span_id
+        if span.parent_id is not None:
+            args["parent_id"] = span.parent_id
+        events.append(
+            {
+                "ph": "X",
+                "pid": _PID,
+                "tid": tid,
+                "name": f"{span.name}:{span.trace_id}",
+                "cat": span.name,
+                "ts": round(span.start * _US, 3),
+                "dur": round(span.duration * _US, 3),
+                "args": args,
+            }
+        )
+
+    for event in trace.events:
+        if not event.kind.startswith("fault_"):
+            continue
+        events.append(
+            {
+                "ph": "i",
+                "pid": _PID,
+                "tid": tids["faults"],
+                "name": event.kind,
+                "cat": "fault",
+                "ts": round(event.time * _US, 3),
+                "s": "g",
+                "args": {
+                    key: value
+                    for key, value in (
+                        ("worker", event.worker),
+                        ("detail", event.detail),
+                    )
+                    if value is not None
+                },
+            }
+        )
+
+    if flows is not None:
+        for flow in flows:
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": tids["broker"],
+                    "name": f"{flow.message}:{flow.key}",
+                    "cat": "messaging",
+                    "ts": round(flow.published_at * _US, 3),
+                    "dur": round((flow.delivered_at - flow.published_at) * _US, 3),
+                    "args": {"topic": flow.topic, "receiver": flow.receiver},
+                }
+            )
+
+    if probes is not None:
+        for name in probes.names():
+            probe = probes.probes[name]
+            for time, value in probe.samples:
+                events.append(
+                    {
+                        "ph": "C",
+                        "pid": _PID,
+                        "tid": 0,
+                        "name": name,
+                        "ts": round(time * _US, 3),
+                        "args": {probe.unit or "value": value},
+                    }
+                )
+
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def write_perfetto(path, trace: Trace, spans=None, probes=None, flows=None, label="repro") -> None:
+    """Serialise :func:`perfetto_trace` to ``path``."""
+    document = perfetto_trace(trace, spans=spans, probes=probes, flows=flows, label=label)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+def timeseries_rows(probes) -> list[tuple[str, float, float]]:
+    """Flatten all probe series to ``(probe, time, value)`` rows."""
+    rows: list[tuple[str, float, float]] = []
+    for name in probes.names():
+        for time, value in probes.probes[name].samples:
+            rows.append((name, time, value))
+    return rows
+
+
+def write_timeseries_csv(path, probes) -> None:
+    """Dump every probe series as ``probe,time_s,value`` CSV."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("probe,time_s,value\n")
+        for name, time, value in timeseries_rows(probes):
+            handle.write(f"{name},{time:g},{value:g}\n")
+
+
+def write_timeseries_json(path, probes) -> None:
+    """Dump probe series as ``{probe: {unit, times, values}}`` JSON."""
+    document = {
+        name: {
+            "unit": probes.probes[name].unit,
+            "times": probes.probes[name].times(),
+            "values": probes.probes[name].values(),
+        }
+        for name in probes.names()
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(document, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+
+
+__all__ = [
+    "perfetto_trace",
+    "timeseries_rows",
+    "write_perfetto",
+    "write_timeseries_csv",
+    "write_timeseries_json",
+]

@@ -1,0 +1,117 @@
+"""Periodic time-series probes over live simulation state.
+
+A :class:`ProbeRegistry` samples a set of named gauges on a fixed
+sim-time cadence, retaining the last ``retention`` samples of each in a
+ring buffer.  Probes are plain callables reading live state (queue
+depths, busy flags, pipe occupancy) -- they never mutate anything, so
+sampling cannot perturb the simulation beyond adding timer events,
+and the whole registry only exists when observability is enabled
+(zero-cost-when-off contract; see :mod:`repro.obs.recorder`).
+
+The sampling timer uses the kernel's re-armed direct-callback pattern
+(same shape as the autoscaler tick): one :class:`TimerHandle` re-armed
+from its own callback, so an idle registry costs one heap entry.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+
+@dataclass
+class Probe:
+    """One named gauge plus its bounded sample history."""
+
+    name: str
+    unit: str
+    fn: Callable[[], float]
+    samples: deque = field(default_factory=deque)
+
+    def values(self) -> list[float]:
+        return [value for _, value in self.samples]
+
+    def times(self) -> list[float]:
+        return [time for time, _ in self.samples]
+
+
+class ProbeRegistry:
+    """Samples registered probes every ``interval_s`` of sim time."""
+
+    def __init__(self, sim, interval_s: float = 1.0, retention: int = 4096):
+        if interval_s <= 0:
+            raise ValueError("probe interval must be positive")
+        if retention < 1:
+            raise ValueError("retention must be positive")
+        self.sim = sim
+        self.interval_s = interval_s
+        self.retention = retention
+        self.probes: dict[str, Probe] = {}
+        self._timer = None
+        self._stopped = False
+
+    def register(self, name: str, fn: Callable[[], float], unit: str = "") -> Probe:
+        """Add a gauge; re-registering a name replaces its callable but
+        keeps the history (worker restarts re-register their probes)."""
+        existing = self.probes.get(name)
+        if existing is not None:
+            existing.fn = fn
+            return existing
+        probe = Probe(name, unit, fn, deque(maxlen=self.retention))
+        self.probes[name] = probe
+        return probe
+
+    def unregister(self, name: str) -> None:
+        self.probes.pop(name, None)
+
+    def start(self) -> None:
+        """Arm the sampling timer (idempotent)."""
+        if self._timer is not None:
+            return
+        from repro.sim.kernel import TimerHandle
+
+        self._timer = TimerHandle()
+        # Sample once at t=0 so every series has an initial point.
+        self._tick()
+
+    def stop(self) -> None:
+        """Stop future sampling (pending timer fires become no-ops)."""
+        self._stopped = True
+
+    def _tick(self) -> None:
+        if self._stopped:
+            return
+        now = self.sim.now
+        for probe in self.probes.values():
+            probe.samples.append((now, float(probe.fn())))
+        self.sim.call_later(self.interval_s, self._tick, handle=self._timer)
+
+    def sample_once(self) -> None:
+        """Take one immediate sample outside the cadence (e.g. at run end)."""
+        now = self.sim.now
+        for probe in self.probes.values():
+            probe.samples.append((now, float(probe.fn())))
+
+    def names(self) -> list[str]:
+        return sorted(self.probes)
+
+    def series(self, name: str) -> list[tuple[float, float]]:
+        return list(self.probes[name].samples)
+
+    def __iter__(self) -> Iterable[Probe]:
+        return iter(self.probes.values())
+
+    def __len__(self) -> int:
+        return len(self.probes)
+
+
+def busy_fraction(samples: Iterable[tuple[float, float]]) -> Optional[float]:
+    """Mean of a 0/1 busy gauge -- the worker's sampled busy fraction."""
+    values = [value for _, value in samples]
+    if not values:
+        return None
+    return sum(values) / len(values)
+
+
+__all__ = ["Probe", "ProbeRegistry", "busy_fraction"]

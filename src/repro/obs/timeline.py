@@ -1,0 +1,69 @@
+"""ASCII run timeline: worker lanes, fault marks, probe sparklines.
+
+The terminal-native view of one observed run, composed from existing
+pieces: :func:`~repro.metrics.analysis.ascii_gantt` for the per-worker
+execution lanes, :func:`~repro.metrics.ascii_chart.sparkline` for every
+probe series, plus a fault lane listing injector actions in time order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.metrics.analysis import ascii_gantt
+from repro.metrics.ascii_chart import sparkline
+from repro.metrics.trace import Trace
+
+
+def _fault_lane(trace: Trace) -> list[str]:
+    lines = []
+    for event in trace.events:
+        if not event.kind.startswith("fault_"):
+            continue
+        subject = event.worker or event.detail or ""
+        lines.append(f"  [{event.time:10.3f}s] {event.kind[6:]:<16s} {subject}")
+    return lines
+
+
+def _probe_lane(probes, width: int) -> list[str]:
+    lines = []
+    name_width = max((len(name) for name in probes.names()), default=0)
+    for name in probes.names():
+        probe = probes.probes[name]
+        values = probe.values()
+        if not values:
+            continue
+        peak = max(values)
+        chart = sparkline(values, width=width) if peak >= 0 else ""
+        unit = f" {probe.unit}" if probe.unit else ""
+        lines.append(
+            f"  {name:<{name_width}s} |{chart}| peak {peak:g}{unit}"
+        )
+    return lines
+
+
+def render_timeline(
+    trace: Trace,
+    makespan: float,
+    probes=None,
+    width: int = 72,
+    max_workers: int = 10,
+    title: Optional[str] = None,
+) -> str:
+    """Render the full timeline view as a multi-section text block."""
+    sections = []
+    if title:
+        sections.append(title)
+    sections.append("workers (# busy, . idle):")
+    sections.append(ascii_gantt(trace, makespan, width=width, max_workers=max_workers))
+    faults = _fault_lane(trace)
+    if faults:
+        sections.append("faults:")
+        sections.extend(faults)
+    if probes is not None and len(probes):
+        sections.append("probes:")
+        sections.extend(_probe_lane(probes, width))
+    return "\n".join(sections)
+
+
+__all__ = ["render_timeline"]

@@ -47,6 +47,7 @@ from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.net.bandwidth import FairSharePipe
 from repro.net.topology import Topology
+from repro.obs.recorder import ObsRecorder
 from repro.schedulers.base import SchedulerPolicy
 from repro.serve.admission import ADMIT, DELAY, SHED, AdmissionConfig, AdmissionController
 from repro.serve.arrivals import ArrivalProcess
@@ -124,6 +125,11 @@ class ServiceRuntime:
         #: Live invariant checker (see :mod:`repro.check`), or ``None``.
         self.monitor = InvariantMonitor(check_cfg) if check_cfg is not None else None
         self.metrics.monitor = self.monitor
+        if self.monitor is not None:
+            self.monitor.trace = self.metrics.trace
+        obs_cfg = self.config.obs_config()
+        #: Live observability recorder (see :mod:`repro.obs`), or ``None``.
+        self.obs = ObsRecorder(self.sim, obs_cfg) if obs_cfg is not None else None
         self.pipeline = single_task_pipeline()
         self.admission = AdmissionController(
             self.sim, admission_config or AdmissionConfig()
@@ -138,6 +144,7 @@ class ServiceRuntime:
             self.topology.broker.drop_probability = self.config.message_loss
             self.topology.broker.rng = streams.get("message-loss")
         self.topology.broker.monitor = self.monitor
+        self.topology.broker.obs = self.obs
         self._origin = (
             FairSharePipe(self.sim, capacity_mbps=self.config.shared_origin_mbps)
             if self.config.shared_origin_mbps is not None
@@ -145,6 +152,8 @@ class ServiceRuntime:
         )
         if self._origin is not None:
             self._origin.monitor = self.monitor
+            self._origin.obs = self.obs
+            self._origin.obs_label = "origin"
 
         self.workers: dict[str, WorkerNode] = {}
         for spec in profile.specs:
@@ -159,6 +168,7 @@ class ServiceRuntime:
                 noise_rng=streams.get("noise", spec.name),
                 origin=self._origin,
                 monitor=self.monitor,
+                obs=self.obs,
             )
 
         self._master_policy = scheduler.make_master()
@@ -195,6 +205,9 @@ class ServiceRuntime:
                 )
                 for spec in profile.specs
             }
+        if self.obs is not None:
+            self.master.obs = self.obs
+            self._register_probes()
         self.master.completion_listeners.append(self._on_completion)
         self.master.failure_listeners.append(self._on_failure)
 
@@ -238,15 +251,69 @@ class ServiceRuntime:
                 monitor=self.monitor,
             )
             self.injector_faults.start()
+        if self.obs is not None:
+            self.obs.start()
         self.sim.process(self._injector(), name="service-injector")
         self.sim.process(self._dispatcher(), name="service-dispatcher")
         if self.autoscaler is not None:
             self.autoscaler.start()
         self.sim.process(self._deadline_guard(), name="deadline-guard")
         self.sim.run(until=self.master.done)
+        if self.obs is not None:
+            self.obs.finish()
         if self.monitor is not None:
             self.monitor.final_check()
         return self.report()
+
+    def _register_probes(self) -> None:
+        """Register the service-level gauges on top of the engine ones.
+
+        Worker gauges resolve by name through ``self.workers``, so
+        restart- and scale-swapped nodes are always the live objects.
+        """
+        probes = self.obs.probes
+        master = self.master
+        probes.register("master.outstanding", lambda: master.outstanding, unit="jobs")
+        probes.register("fleet.active", lambda: len(master.active_workers), unit="workers")
+        probes.register(
+            "fleet.busy",
+            lambda: sum(
+                1 for w in self.workers.values() if w.alive and not w.is_idle
+            ),
+            unit="workers",
+        )
+        probes.register("service.inflight", lambda: self.inflight, unit="jobs")
+        probes.register(
+            "admission.depth", lambda: self.admission.depth, unit="jobs"
+        )
+        probes.register("admission.shed", lambda: self.admission.shed, unit="jobs")
+        probes.register(
+            "slo.attainment",
+            lambda: 1.0
+            - self.slo.deadline_misses / max(1, self.slo.completed),
+        )
+        policy = self._master_policy
+        if hasattr(policy, "in_flight"):
+            probes.register(
+                "offers.in_flight", lambda: len(policy.in_flight), unit="offers"
+            )
+        if hasattr(policy, "contests"):
+            # The policy keeps closed contests in the map (late-bid
+            # diagnostics), so count status, not membership.
+            probes.register(
+                "contests.open",
+                lambda: sum(
+                    1
+                    for contest in policy.contests.values()
+                    if contest.status.value == "open"
+                ),
+                unit="contests",
+            )
+        if self._origin is not None:
+            origin = self._origin
+            probes.register(
+                "origin.active", lambda: origin.active_count, unit="transfers"
+            )
 
     def _deadline_guard(self):
         yield self.sim.timeout(self.config.max_sim_time)
@@ -379,6 +446,7 @@ class ServiceRuntime:
             noise_rng=self._streams.get("noise", name),
             origin=self._origin,
             monitor=self.monitor,
+            obs=self.obs,
         )
         self.workers[name] = node
         node.start()

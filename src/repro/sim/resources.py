@@ -224,6 +224,11 @@ class PriorityResource:
         """Number of current holders."""
         return len(self.users)
 
+    @property
+    def waiting(self) -> int:
+        """Number of queued (not yet granted) requests."""
+        return len(self._queue)
+
     def request(self, priority: int = 0) -> Event:
         """Request one unit at ``priority`` (lower = more urgent)."""
         event = Event(self.sim)

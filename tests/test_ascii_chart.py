@@ -1,0 +1,91 @@
+"""Unit coverage for the terminal chart helpers (satellite of repro.obs)."""
+
+import pytest
+
+from repro.metrics.ascii_chart import bar_chart, grouped_bar_chart, sparkline
+
+
+class TestSparkline:
+    def test_empty_series_raises(self):
+        with pytest.raises(ValueError):
+            sparkline([])
+
+    def test_negative_values_raise(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0, -0.5])
+
+    def test_zero_width_raises(self):
+        with pytest.raises(ValueError):
+            sparkline([1.0], width=0)
+
+    def test_all_zero_series_renders_floor(self):
+        assert sparkline([0.0, 0.0, 0.0]) == "▁▁▁"
+
+    def test_zero_max_value_renders_floor(self):
+        assert sparkline([1.0, 2.0], max_value=0.0) == "▁▁"
+
+    def test_monotone_ramp_uses_full_range(self):
+        chart = sparkline([0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])
+        assert chart == "▁▂▃▄▅▆▇█"
+
+    def test_unicode_width_is_one_cell_per_sample(self):
+        values = [0.0, 3.0, 7.0, 1.0]
+        chart = sparkline(values)
+        assert len(chart) == len(values)
+        assert all(block in "▁▂▃▄▅▆▇█" for block in chart)
+
+    def test_resampling_to_width(self):
+        values = list(range(100))
+        chart = sparkline(values, width=10)
+        assert len(chart) == 10
+        assert chart[0] == "▁" and chart[-1] == "█"
+
+    def test_width_wider_than_series_keeps_length(self):
+        assert len(sparkline([1.0, 2.0], width=50)) == 2
+
+    def test_max_value_pins_scale(self):
+        # With the top pinned far above the data, everything stays low.
+        chart = sparkline([1.0, 1.0], max_value=100.0)
+        assert chart == "▁▁"
+
+    def test_values_above_max_clamp(self):
+        assert sparkline([5.0, 50.0], max_value=10.0)[-1] == "█"
+
+
+class TestBarChart:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart([])
+
+    def test_negative_raises(self):
+        with pytest.raises(ValueError):
+            bar_chart([("a", -1.0)])
+
+    def test_zero_values_render_without_bars(self):
+        text = bar_chart([("a", 0.0), ("b", 0.0)])
+        assert "a" in text and "b" in text
+        assert "█" not in text
+
+    def test_labels_aligned(self):
+        text = bar_chart([("short", 1.0), ("a-much-longer-label", 2.0)])
+        lines = text.splitlines()
+        bars_at = [line.index(" ") for line in lines]
+        assert "short".ljust(len("a-much-longer-label")) in lines[0]
+        assert len(bars_at) == 2
+
+
+class TestGroupedBarChart:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            grouped_bar_chart([])
+        with pytest.raises(ValueError):
+            grouped_bar_chart([("g", [])])
+
+    def test_global_scaling(self):
+        text = grouped_bar_chart(
+            [("g1", [("a", 10.0)]), ("g2", [("b", 40.0)])], width=4
+        )
+        lines = text.splitlines()
+        bar_a = lines[1].count("█")
+        bar_b = lines[3].count("█")
+        assert bar_b == 4 and bar_a == 1

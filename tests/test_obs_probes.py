@@ -1,0 +1,171 @@
+"""ProbeRegistry cadence/retention and the zero-cost-when-off contract."""
+
+import pytest
+
+from conftest import make_profile, make_spec
+from repro.engine.runtime import EngineConfig, WorkflowRuntime
+from repro.obs import ObsConfig, ProbeRegistry, as_obs_config, busy_fraction
+from repro.schedulers.registry import make_scheduler
+from repro.sim import Simulator
+from repro.workload.job import Job, JobStream
+from repro.workload.msr import TASK_ANALYZER
+
+
+def burst_stream(n=6, size=10.0):
+    return JobStream.burst(
+        [
+            Job(job_id=f"j{i}", task=TASK_ANALYZER, repo_id=f"r{i}", size_mb=size)
+            for i in range(n)
+        ]
+    )
+
+
+def make_runtime(obs=True, **config_kwargs):
+    return WorkflowRuntime(
+        profile=make_profile(make_spec("w1"), make_spec("w2")),
+        stream=burst_stream(),
+        scheduler=make_scheduler("bidding"),
+        config=EngineConfig(seed=0, obs=obs, **config_kwargs),
+    )
+
+
+class TestProbeRegistry:
+    def test_samples_on_cadence(self):
+        sim = Simulator()
+        registry = ProbeRegistry(sim, interval_s=2.0)
+        ticks = []
+        registry.register("clock", lambda: sim.now, unit="s")
+        registry.start()
+        sim.run(until=7.0)
+        series = registry.series("clock")
+        assert [time for time, _ in series] == [0.0, 2.0, 4.0, 6.0]
+        assert [value for _, value in series] == [0.0, 2.0, 4.0, 6.0]
+        assert ticks == []  # nothing else ran
+
+    def test_retention_ring_bound(self):
+        sim = Simulator()
+        registry = ProbeRegistry(sim, interval_s=1.0, retention=5)
+        registry.register("count", lambda: 1.0)
+        registry.start()
+        sim.run(until=20.0)
+        samples = registry.series("count")
+        assert len(samples) == 5  # bounded, newest kept
+        assert samples[-1][0] == 20.0
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator()
+        registry = ProbeRegistry(sim, interval_s=1.0)
+        registry.register("x", lambda: 0.0)
+        registry.start()
+        sim.run(until=3.0)
+        registry.stop()
+        before = len(registry.series("x"))
+        sim.run(until=10.0)
+        assert len(registry.series("x")) == before
+
+    def test_reregister_keeps_history(self):
+        sim = Simulator()
+        registry = ProbeRegistry(sim, interval_s=1.0)
+        registry.register("gauge", lambda: 1.0)
+        registry.start()
+        sim.run(until=2.0)
+        registry.register("gauge", lambda: 9.0)  # e.g. a restarted worker
+        sim.run(until=4.0)
+        values = [value for _, value in registry.series("gauge")]
+        assert values == [1.0, 1.0, 1.0, 9.0, 9.0]
+
+    def test_validation(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            ProbeRegistry(sim, interval_s=0.0)
+        with pytest.raises(ValueError):
+            ProbeRegistry(sim, retention=0)
+
+    def test_busy_fraction(self):
+        assert busy_fraction([]) is None
+        assert busy_fraction([(0.0, 1.0), (1.0, 0.0)]) == 0.5
+
+
+class TestObsConfig:
+    def test_normalisation(self):
+        assert as_obs_config(None) is None
+        assert as_obs_config(False) is None
+        assert as_obs_config(True) == ObsConfig()
+        cfg = ObsConfig(probe_interval_s=0.5, retention=16)
+        assert as_obs_config(cfg) is cfg
+        with pytest.raises(TypeError):
+            as_obs_config("yes")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ObsConfig(probe_interval_s=0.0)
+        with pytest.raises(ValueError):
+            ObsConfig(retention=0)
+
+
+class TestRuntimeProbes:
+    def test_standard_probes_registered_and_sampled(self):
+        runtime = make_runtime(obs=ObsConfig(probe_interval_s=1.0))
+        runtime.run()
+        names = runtime.obs.probes.names()
+        for expected in (
+            "master.outstanding",
+            "fleet.active",
+            "fleet.busy",
+            "links.busy",
+            "worker.w1.busy",
+            "worker.w1.queue",
+            "worker.w2.busy",
+            "worker.w2.queue",
+        ):
+            assert expected in names, names
+        # Every series has samples from start through the final flush.
+        for name in names:
+            samples = runtime.obs.probes.series(name)
+            assert samples, name
+            assert samples[0][0] == 0.0
+
+    def test_worker_busy_fraction_positive(self):
+        runtime = make_runtime(obs=True)
+        runtime.run()
+        fractions = [
+            busy_fraction(runtime.obs.probes.series(f"worker.{name}.busy"))
+            for name in ("w1", "w2")
+        ]
+        assert any(fraction > 0 for fraction in fractions)
+
+
+class TestZeroCostOff:
+    def test_obs_off_leaves_no_recorder_anywhere(self):
+        runtime = make_runtime(obs=False)
+        assert runtime.obs is None
+        assert runtime.master.obs is None
+        assert runtime.topology.broker.obs is None
+        for worker in runtime.workers.values():
+            assert worker.obs is None
+        runtime.run()
+
+    def test_obs_off_messages_carry_no_ctx(self):
+        runtime = make_runtime(obs=False)
+        seen = []
+        original = runtime.master.send_to_worker
+
+        def spy(worker, message):
+            seen.append(message)
+            original(worker, message)
+
+        runtime.master.send_to_worker = spy
+        runtime.run()
+        from repro.engine.messages import Assignment
+
+        assignments = [m for m in seen if isinstance(m, Assignment)]
+        assert assignments
+        assert all(m.ctx is None for m in assignments)
+
+    def test_obs_on_metrics_bit_identical_to_off(self):
+        plain = make_runtime(obs=False).run()
+        observed = make_runtime(obs=True).run()
+        assert observed.makespan_s == plain.makespan_s
+        assert observed.cache_misses == plain.cache_misses
+        assert observed.cache_hits == plain.cache_hits
+        assert observed.data_load_mb == plain.data_load_mb
