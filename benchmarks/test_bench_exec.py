@@ -1,0 +1,71 @@
+"""Benchmark: real-backend dispatch throughput and handoff latency.
+
+Informational, not gated: the numbers characterise the coordinator's
+socket handoff path (plan pop -> processing move -> dispatch write ->
+worker DONE) on real OS processes, where wall time is dominated by the
+scaled cost-model sleeps, not by scheduling work.  Two figures matter:
+
+* **dispatch throughput** -- completed jobs per wall second across the
+  whole pool at an aggressive time scale;
+* **handoff latency** -- per-job coordinator overhead, measured as
+  ``done_at - dispatched_at - exec_s`` (everything that is *not* the
+  worker executing): queue residency at the worker, both socket hops,
+  and coordinator bookkeeping.
+
+No thresholds are asserted -- runner machines vary too much for a
+perf gate on process spawning -- only correctness of the runs
+(conservation, nothing crashed).  The JSON block printed per run is
+the machine-readable record.
+"""
+
+import json
+
+from conftest import once
+from repro.exec.diff import smoke_runtime
+from repro.exec.plan import capture_workflow_plan
+from repro.exec.pool import ExecBackend, ExecConfig
+
+BENCH_SEED = 11
+BENCH_JOBS = 24
+#: Aggressive compression (1 sim-second = 2 wall-ms) so the bench
+#: measures the handoff machinery rather than the modelled sleeps.
+BENCH_TIME_SCALE = 0.002
+BENCH_SCHEDULERS = ("baseline", "bidding")
+
+
+def _run_real(scheduler: str):
+    plan, _sim = capture_workflow_plan(
+        smoke_runtime(scheduler, seed=BENCH_SEED, n_jobs=BENCH_JOBS)
+    )
+    backend = ExecBackend(
+        plan, ExecConfig(time_scale=BENCH_TIME_SCALE, trace=False)
+    )
+    return backend.run()
+
+
+def real_backend_sweep():
+    return {scheduler: _run_real(scheduler) for scheduler in BENCH_SCHEDULERS}
+
+
+def test_bench_exec_dispatch(benchmark):
+    reports = once(benchmark, real_backend_sweep)
+    payload = {
+        scheduler: {
+            "jobs": report.completed,
+            "wall_s": round(report.wall_s, 3),
+            "throughput_jobs_per_s": round(report.throughput_jobs_per_s, 2),
+            "handoff_p50_ms": round(report.handoff_p50_s * 1000, 3),
+            "handoff_max_ms": round(report.handoff_max_s * 1000, 3),
+        }
+        for scheduler, report in reports.items()
+    }
+    print()
+    print(json.dumps(payload, indent=2, sort_keys=True))
+
+    for scheduler, report in reports.items():
+        assert report.conserved, scheduler
+        assert report.completed == BENCH_JOBS, scheduler
+        assert report.crashes == 0 and report.failed == 0, scheduler
+        # Handoff latency is a real, positive measurement on every job.
+        assert report.handoff_p50_s >= 0.0
+        assert report.handoff_max_s >= report.handoff_p50_s

@@ -23,6 +23,9 @@ A from-scratch Python implementation of the paper's system stack
   monitors, a trace-replay oracle, and a shrinking scenario fuzzer,
 * :mod:`repro.obs`       -- observability: causal span tracing,
   time-series probes, Perfetto/CSV exporters, ASCII timelines,
+* :mod:`repro.exec`      -- a *real* asyncio multi-process execution
+  backend (plan-then-execute), differentially validated against the
+  simulator,
 * :mod:`repro.experiments` -- one module per table/figure.
 
 Quickstart
@@ -39,6 +42,8 @@ Open-loop (a long-running service under an arrival process):
 
 ``run_service(scheduler="bidding", arrival="poisson", rate=2.0,
 duration_s=300.0)`` returns a :class:`~repro.serve.ServiceReport`.
+With ``backend="real"`` the same call executes on actual worker
+processes (:mod:`repro.exec`) instead of simulated ones.
 
 Both entry points accept ``faults=FaultPlan(...)`` to inject worker
 crashes, link degradation, partitions and message loss -- with the
@@ -135,6 +140,8 @@ def run_service(
     seed: int = 0,
     faults: "FaultPlan | None" = None,
     autoscale: bool = False,
+    backend: str = "sim",
+    time_scale: float = 0.02,
     **overrides: object,
 ) -> ServiceReport:
     """One-call service run, symmetric with :func:`run_workflow`.
@@ -149,9 +156,20 @@ def run_service(
     ``queue_cap``/``rate_limit`` to admission,
     ``min_workers``/``max_workers`` to the autoscaler (passing any
     autoscaler knob implies ``autoscale=True``), and e.g.
-    ``message_loss`` to :class:`EngineConfig`.  Deprecated spellings
-    (``duration``, ``deadline``, ``max_inflight``, ``loss``) still work
-    with a :class:`DeprecationWarning`.
+    ``message_loss`` to :class:`EngineConfig`.  Only canonical field
+    names are accepted; unknown keys raise :class:`TypeError` listing
+    every accepted field.
+
+    ``backend="real"`` additionally *executes* the run on the
+    :mod:`repro.exec` multi-process pool: the sim still makes every
+    allocation decision (plan-then-execute), then real worker processes
+    replay the frozen plan with genuine sockets, heartbeats and caches,
+    with each simulated second compressed to ``time_scale`` wall
+    seconds.  The returned report keeps the sim's admission/latency
+    fields (latency percentiles remain simulated) but carries the real
+    pool's execution counters: ``completed``, ``failed``,
+    ``cache_hits``, ``cache_misses``, ``data_load_mb``, ``crashes``,
+    ``redispatches`` and ``duplicates_suppressed``.
     """
     from repro.cluster.profiles import profile_by_name
     from repro.config import resolve_overrides
@@ -162,6 +180,8 @@ def run_service(
         make_arrivals,
     )
 
+    if backend not in ("sim", "real"):
+        raise ValueError(f"backend must be 'sim' or 'real', got {backend!r}")
     service_kw, admission_kw, scaler_kw, engine_kw = resolve_overrides(
         overrides, ServiceConfig, AdmissionConfig, AutoscalerConfig, EngineConfig
     )
@@ -177,7 +197,26 @@ def run_service(
         config=EngineConfig(seed=seed, **engine_kw),
         faults=faults,
     )
-    return runtime.run()
+    if backend == "sim":
+        return runtime.run()
+
+    from dataclasses import replace
+
+    from repro.exec import ExecBackend, ExecConfig, capture_service_plan
+
+    plan, report = capture_service_plan(runtime)
+    real = ExecBackend(plan, ExecConfig(time_scale=time_scale)).run()
+    return replace(
+        report,
+        completed=real.completed,
+        failed=real.failed,
+        cache_hits=real.cache_hits,
+        cache_misses=real.cache_misses,
+        data_load_mb=real.data_load_mb,
+        crashes=real.crashes,
+        redispatches=real.redispatches,
+        duplicates_suppressed=real.duplicates_suppressed,
+    )
 
 
 def compare_schedulers(

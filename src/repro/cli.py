@@ -12,6 +12,11 @@ Subcommands map one-to-one onto the experiment modules::
                                # a single cell, printed per iteration
     repro serve --scheduler bidding --arrival poisson --rate 2.0 --duration 600
                                # open-loop service run with SLO summary
+    repro serve --backend real # same, executed on real worker processes
+    repro exec                 # one real-backend replay, report printed
+    repro exec --diff          # sim-vs-real differential smoke matrix
+    repro golden --check       # drift-gate every golden fixture
+    repro golden perfetto      # deliberately re-record one fixture
     repro faults               # degradation sweep: makespan vs crash rate
     repro bench                # kernel/network hot-path benchmarks -> BENCH.json
     repro fuzz --budget 60     # randomised scenario fuzzing with shrinking
@@ -318,6 +323,19 @@ def _build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--min-workers", type=int, default=2)
     serve.add_argument("--max-workers", type=int, default=10)
     serve.add_argument("--save-json", metavar="PATH", help="persist the report as JSON")
+    serve.add_argument(
+        "--backend",
+        choices=["sim", "real"],
+        default="sim",
+        help="'real' executes the run on the repro.exec multi-process pool",
+    )
+    serve.add_argument(
+        "--time-scale",
+        dest="time_scale",
+        type=float,
+        default=0.02,
+        help="real backend: wall seconds per simulated second (default 0.02)",
+    )
     _add_faults_flag(serve)
     serve.add_argument(
         "--check-invariants",
@@ -331,6 +349,70 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         default=None,
         help="record spans/probes and export a Perfetto trace_event JSON",
+    )
+
+    exec_cmd = sub.add_parser(
+        "exec",
+        help="real execution backend: replay a sim plan on OS processes, "
+        "or --diff it against the simulator",
+    )
+    exec_cmd.add_argument(
+        "--diff",
+        action="store_true",
+        help="differential mode: assert sim and real agree (exit 1 on divergence)",
+    )
+    exec_cmd.add_argument(
+        "--schedulers",
+        nargs="+",
+        choices=sorted(SCHEDULERS),
+        default=None,
+        help="schedulers to cover (default: --diff covers all, else bidding)",
+    )
+    exec_cmd.add_argument("--seed", type=int, default=11)
+    exec_cmd.add_argument(
+        "--jobs", type=int, default=18, help="smoke-scenario job count"
+    )
+    exec_cmd.add_argument(
+        "--time-scale",
+        dest="time_scale",
+        type=float,
+        default=0.01,
+        help="wall seconds per simulated second (default 0.01)",
+    )
+    exec_cmd.add_argument(
+        "--kill",
+        metavar="WORKER:AFTER",
+        default=None,
+        help="SIGKILL WORKER once AFTER jobs completed (e.g. w1:2); "
+        "--diff then checks conservation instead of sequence equality",
+    )
+    exec_cmd.add_argument(
+        "--out",
+        metavar="FILE",
+        default=None,
+        help="write the (divergence) report as JSON",
+    )
+
+    golden = sub.add_parser(
+        "golden", help="golden fixtures: re-record, or --check for drift"
+    )
+    golden.add_argument(
+        "fixtures",
+        nargs="*",
+        metavar="NAME",
+        help="fixture names (default: all); see repro.experiments.golden",
+    )
+    golden.add_argument(
+        "--check",
+        action="store_true",
+        help="drift gate: regenerate into memory and fail on mismatch",
+    )
+    golden.add_argument(
+        "--dir",
+        dest="directory",
+        metavar="DIR",
+        default=None,
+        help="fixture directory (default: the repo's tests/)",
     )
     return parser
 
@@ -573,7 +655,37 @@ def _run_serve(args: argparse.Namespace) -> None:
         ),
         faults=_parse_faults(args.faults),
     )
-    report = runtime.run()
+    if args.backend == "real":
+        from dataclasses import replace
+
+        from repro.exec import ExecBackend, ExecConfig, capture_service_plan
+
+        plan, report = capture_service_plan(runtime)
+        print(
+            f"plan captured: {len(plan.jobs)} jobs, {len(plan.decisions)} "
+            f"decisions across {len(plan.workers)} workers; executing for real "
+            f"(time scale {args.time_scale})..."
+        )
+        real = ExecBackend(plan, ExecConfig(time_scale=args.time_scale)).run()
+        report = replace(
+            report,
+            completed=real.completed,
+            failed=real.failed,
+            cache_hits=real.cache_hits,
+            cache_misses=real.cache_misses,
+            data_load_mb=real.data_load_mb,
+            crashes=real.crashes,
+            redispatches=real.redispatches,
+            duplicates_suppressed=real.duplicates_suppressed,
+        )
+        print(
+            f"real pool: {real.completed} completed in {real.wall_s:.1f}s wall "
+            f"({real.throughput_jobs_per_s:.1f} jobs/s, handoff p50 "
+            f"{real.handoff_p50_s * 1000:.1f}ms); latency percentiles below "
+            "remain simulated"
+        )
+    else:
+        report = runtime.run()
     if args.trace_out:
         _export_trace(args.trace_out, runtime)
     if args.save_json:
@@ -638,6 +750,86 @@ def _run_serve(args: argparse.Namespace) -> None:
         )
 
 
+def _parse_kill(arg: Optional[str]):
+    """``--kill`` value ``WORKER:AFTER`` -> KillSpec."""
+    if arg is None:
+        return None
+    from repro.exec import KillSpec
+
+    worker, _, after = arg.partition(":")
+    if not worker or not after:
+        raise SystemExit(f"--kill expects WORKER:AFTER, got {arg!r}")
+    return KillSpec(worker=worker, after_done=int(after))
+
+
+def _run_exec(args: argparse.Namespace) -> int:
+    from repro.exec import diff_matrix, run_diff
+
+    kill = _parse_kill(args.kill)
+    if args.diff:
+        report = diff_matrix(
+            schedulers=tuple(args.schedulers or ()),
+            seed=args.seed,
+            n_jobs=args.jobs,
+            time_scale=args.time_scale,
+            kill=kill,
+        )
+        mode = "conservation-under-crash" if kill else "sequence + accounting"
+        print(
+            f"sim-vs-real differential ({mode}; seed {args.seed}, "
+            f"{args.jobs} jobs):"
+        )
+        for line in report.summary_lines():
+            print(line)
+        if args.out:
+            print(f"report written to {report.write(args.out)}")
+        if report.ok:
+            print("backends agree")
+            return 0
+        print("DIVERGED", file=sys.stderr)
+        return 1
+    # Single real replay: run one scheduler's plan and show the report.
+    schedulers = args.schedulers or ["bidding"]
+    status = 0
+    for name in schedulers:
+        cell = run_diff(
+            name,
+            seed=args.seed,
+            n_jobs=args.jobs,
+            time_scale=args.time_scale,
+            kill=kill,
+        )
+        real = cell.real
+        print(
+            f"{name}: {real['completed']}/{real['admitted']} jobs on "
+            f"{len(real['per_worker_completed'])} real workers in "
+            f"{real['wall_s']:.1f}s wall ({real['throughput_jobs_per_s']:.1f} "
+            f"jobs/s); handoff p50 {real['handoff_p50_s'] * 1000:.1f}ms "
+            f"max {real['handoff_max_s'] * 1000:.1f}ms; "
+            f"{real['crashes']} crash(es), {real['redispatches']} redispatch(es)"
+        )
+        if not cell.ok:
+            status = 1
+            for divergence in cell.divergences:
+                print(f"  DIVERGED: {divergence}", file=sys.stderr)
+        if args.out:
+            import json
+
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(cell.to_dict(), handle, indent=2, sort_keys=True)
+            print(f"report written to {args.out}")
+    return status
+
+
+def _run_golden(args: argparse.Namespace) -> int:
+    from pathlib import Path
+
+    from repro.experiments.golden import run as run_golden
+
+    directory = Path(args.directory) if args.directory else None
+    return run_golden(args.fixtures, do_check=args.check, directory=directory)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
@@ -692,6 +884,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         )
     elif args.command == "serve":
         _run_serve(args)
+    elif args.command == "exec":
+        return _run_exec(args)
+    elif args.command == "golden":
+        return _run_golden(args)
     elif args.command == "faults":
         from repro.experiments import faults_sweep
 

@@ -6,78 +6,27 @@ all accept plain keyword overrides instead of requiring callers to
 construct every config dataclass by hand.  This module is the single
 pathway those overrides flow through:
 
-* :data:`DEPRECATED_ALIASES` maps retired keyword spellings to their
-  canonical field names; :func:`canonicalize` rewrites them with a
-  :class:`DeprecationWarning` so old call sites keep working for one
-  release.
 * :func:`resolve_overrides` splits one flat override mapping across
   several config dataclasses by field-name introspection, so the caller
   never has to know which knob lives on which class.
 * :func:`apply_overrides` is the single-target shorthand
-  (``dataclasses.replace`` with alias handling).
+  (``dataclasses.replace`` on one config class).
+
+Only canonical dataclass field names are accepted.  The deprecated
+aliases of the 1.x series (``duration``, ``deadline``, ``max_inflight``,
+``loss``, ``max_time``, ``fault_tolerance``) completed their one-release
+grace period and were removed; an unknown key raises :class:`TypeError`
+listing every accepted field, so a stale spelling fails loudly at the
+call site instead of warning and limping on.
 
 Keeping this in one place means every front door -- Python API, cell
-specs, CLI -- deprecates and validates keywords identically.
+specs, CLI -- validates keywords identically.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from typing import Any, Mapping
-
-#: Retired keyword -> canonical field name.  Accepted anywhere overrides
-#: are, rewritten with a DeprecationWarning.
-DEPRECATED_ALIASES: dict[str, str] = {
-    "duration": "duration_s",
-    "deadline": "deadline_s",
-    "max_inflight": "max_inflight_per_worker",
-    "loss": "message_loss",
-    "max_time": "max_sim_time",
-}
-
-#: Keywords that still function but have a preferred replacement that is
-#: not a simple rename; passed through unchanged after warning.
-SOFT_DEPRECATIONS: dict[str, str] = {
-    "fault_tolerance": (
-        "pass faults=FaultPlan(recovery=RecoveryConfig(...)) to the runtime "
-        "instead; the flag only enables the default recovery budget"
-    ),
-}
-
-
-def canonicalize(
-    overrides: Mapping[str, Any], stacklevel: int = 3
-) -> dict[str, Any]:
-    """Rewrite deprecated keywords to their canonical names.
-
-    Emits one :class:`DeprecationWarning` per rewritten (or
-    soft-deprecated) key.  Passing both an alias and its replacement is
-    ambiguous and raises ``TypeError``.
-    """
-    out: dict[str, Any] = {}
-    for key, value in overrides.items():
-        canonical = DEPRECATED_ALIASES.get(key)
-        if canonical is not None:
-            warnings.warn(
-                f"keyword {key!r} is deprecated; use {canonical!r}",
-                DeprecationWarning,
-                stacklevel=stacklevel,
-            )
-            if canonical in overrides:
-                raise TypeError(
-                    f"got both deprecated keyword {key!r} and its replacement "
-                    f"{canonical!r}"
-                )
-            key = canonical
-        elif key in SOFT_DEPRECATIONS:
-            warnings.warn(
-                f"keyword {key!r} is deprecated; {SOFT_DEPRECATIONS[key]}",
-                DeprecationWarning,
-                stacklevel=stacklevel,
-            )
-        out[key] = value
-    return out
 
 
 def _field_names(cls: type) -> set[str]:
@@ -89,19 +38,18 @@ def resolve_overrides(
 ) -> tuple[dict[str, Any], ...]:
     """Split a flat override mapping across config dataclasses.
 
-    Keys are canonicalized first (see :func:`canonicalize`), then each
-    is routed to the *first* target dataclass declaring a field of that
-    name; the return value is one kwargs dict per target, in order.  A
-    key no target accepts raises ``TypeError`` listing every accepted
-    field, so typos fail loudly instead of silently configuring nothing.
+    Each key is routed to the *first* target dataclass declaring a field
+    of that name; the return value is one kwargs dict per target, in
+    order.  A key no target accepts raises ``TypeError`` listing every
+    accepted field, so typos (and retired alias spellings) fail loudly
+    instead of silently configuring nothing.
     """
     if not targets:
         raise TypeError("resolve_overrides needs at least one target dataclass")
-    resolved = canonicalize(overrides, stacklevel=4)
     field_sets = [_field_names(target) for target in targets]
     buckets: tuple[dict[str, Any], ...] = tuple({} for _ in targets)
     unknown = []
-    for key, value in resolved.items():
+    for key, value in overrides.items():
         for bucket, names in zip(buckets, field_sets):
             if key in names:
                 bucket[key] = value
@@ -117,6 +65,6 @@ def resolve_overrides(
 
 
 def apply_overrides(instance: Any, overrides: Mapping[str, Any]) -> Any:
-    """A copy of ``instance`` with canonicalized overrides applied."""
+    """A copy of ``instance`` with overrides applied."""
     (kwargs,) = resolve_overrides(overrides, type(instance))
     return dataclasses.replace(instance, **kwargs) if kwargs else instance

@@ -130,6 +130,13 @@ class Master:
         #: Callables ``(job, worker, now, reason)`` invoked when a job is
         #: declared permanently failed.
         self.failure_listeners: list = []
+        #: Callables ``(job, worker, now)`` invoked on every allocation
+        #: decision, push- and pull-style alike (both funnel through
+        #: :meth:`_note_assignment`).  This is the backend-agnostic seam:
+        #: the real execution backend (:mod:`repro.exec`) records the
+        #: policy's decision sequence here without knowing which policy
+        #: family produced it.
+        self.assignment_listeners: list = []
         #: job_id -> reason for jobs declared permanently failed.
         self.failed_jobs: dict[str, str] = {}
         self._completed_ids: set[str] = set()
@@ -188,6 +195,8 @@ class Master:
         self.metrics.job_assigned(self.sim.now, job, worker)
         if self.monitor is not None:
             self.monitor.on_assigned(job.job_id, worker, self.sim.now)
+        for listener in self.assignment_listeners:
+            listener(job, worker, self.sim.now)
 
     def send_to_worker(self, worker: str, message: object) -> None:
         """Point-to-point message to one worker (persistent delivery for

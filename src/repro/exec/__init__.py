@@ -1,0 +1,67 @@
+"""repro.exec -- a real asyncio multi-process execution backend.
+
+Everything elsewhere in this repository *simulates* the paper's
+distributed fleet; this package *runs* one.  Worker processes execute
+sandboxed Python task handlers, report over loopback sockets with
+heartbeats, and survive genuine SIGKILLs -- while the deterministic
+simulator keeps making every allocation decision (plan-then-execute;
+see :mod:`repro.exec.plan`).  The differential harness
+(:mod:`repro.exec.diff`) replays one seeded scenario through both
+backends and asserts they agree.
+
+Layout::
+
+    protocol.py   JSON-lines wire format + blocking ControlClient
+    handlers.py   the closed, sandboxed task-handler registry
+    plan.py       ExecPlan capture off the sim's assignment seam
+    worker.py     the per-process worker runtime
+    pool.py       the coordinator: queues, heartbeats, recovery
+    control.py    dispatch / drain / rebind / stats / kill verbs
+    diff.py       sim-vs-real differential harness
+"""
+
+from repro.exec.control import ControlClient, handle_control
+from repro.exec.diff import (
+    DiffCell,
+    DiffReport,
+    diff_matrix,
+    run_diff,
+    smoke_runtime,
+    smoke_stream,
+)
+from repro.exec.handlers import HANDLERS, HandlerError, payload_for, run_handler
+from repro.exec.plan import (
+    Decision,
+    ExecPlan,
+    PlanJob,
+    PlanWorker,
+    capture_service_plan,
+    capture_workflow_plan,
+)
+from repro.exec.pool import ExecBackend, ExecConfig, ExecError, ExecReport, KillSpec
+
+__all__ = [
+    "ControlClient",
+    "Decision",
+    "DiffCell",
+    "DiffReport",
+    "ExecBackend",
+    "ExecConfig",
+    "ExecError",
+    "ExecPlan",
+    "ExecReport",
+    "HANDLERS",
+    "HandlerError",
+    "KillSpec",
+    "PlanJob",
+    "PlanWorker",
+    "capture_service_plan",
+    "capture_workflow_plan",
+    "diff_matrix",
+    "handle_control",
+    "payload_for",
+    "run_diff",
+    "run_handler",
+    "smoke_runtime",
+    "smoke_stream",
+]

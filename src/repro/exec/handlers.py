@@ -1,0 +1,83 @@
+"""Sandboxed task handlers the real workers execute.
+
+The simulator models a job's compute as a duration; the real backend
+must actually *run something*.  Handlers are the closed set of Python
+callables a worker process will execute -- dispatch messages carry a
+handler *name*, never code, so a coordinator (or a hostile control
+client) cannot make a worker run arbitrary Python.  Unknown names are
+refused with :class:`HandlerError`.
+
+Each handler is a pure function of the job's synthetic payload bytes
+(deterministically derived from the job identity, so any two runs of the
+same plan chew the same bytes) and returns a short printable digest that
+travels back in the ``done`` message -- enough to prove real work
+happened without shipping data around.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import zlib
+
+#: Cap on synthetic payload size: enough to make the CPU work real,
+#: small enough that a 10k-job plan costs megabytes, not gigabytes.
+MAX_PAYLOAD_BYTES = 64 * 1024
+
+
+class HandlerError(RuntimeError):
+    """An unknown or misbehaving handler was requested."""
+
+
+def payload_for(job_id: str, repo_id: str | None, size_mb: float) -> bytes:
+    """Deterministic pseudo-payload for a job (its "repository bytes").
+
+    Sized proportionally to the job's data size (1 KiB per MB, capped at
+    :data:`MAX_PAYLOAD_BYTES`) and seeded from the job identity, so every
+    worker -- and every run -- derives identical bytes without any
+    transfer.
+    """
+    n = min(MAX_PAYLOAD_BYTES, max(256, int(size_mb * 1024)))
+    seed = f"{job_id}/{repo_id or '-'}".encode("utf-8")
+    block = hashlib.sha256(seed).digest()
+    reps = n // len(block) + 1
+    return (block * reps)[:n]
+
+
+def _checksum(payload: bytes) -> str:
+    """SHA-256 of the payload -- the default "analysis" stand-in."""
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _crc(payload: bytes) -> str:
+    """CRC32 (cheaper than checksum; a light-compute task)."""
+    return f"{zlib.crc32(payload) & 0xFFFFFFFF:08x}"
+
+
+def _wordcount(payload: bytes) -> str:
+    """Count distinct byte values -- a toy aggregation pass."""
+    return str(len(set(payload)))
+
+
+def _noop(payload: bytes) -> str:
+    """No compute beyond the modelled sleep (timing-only jobs)."""
+    return ""
+
+
+#: The closed registry: name -> callable.  This is the entire attack
+#: surface a dispatch message can reach.
+HANDLERS = {
+    "checksum": _checksum,
+    "crc": _crc,
+    "wordcount": _wordcount,
+    "noop": _noop,
+}
+
+
+def run_handler(name: str, payload: bytes) -> str:
+    """Execute one registered handler; refuse anything else."""
+    fn = HANDLERS.get(name)
+    if fn is None:
+        raise HandlerError(
+            f"unknown handler {name!r}; registered: {sorted(HANDLERS)}"
+        )
+    return fn(payload)

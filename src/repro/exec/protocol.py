@@ -1,0 +1,145 @@
+"""JSON-lines wire protocol between the coordinator and its peers.
+
+One TCP connection per peer, newline-delimited JSON objects, every
+object carrying a ``"type"`` field.  Two peer roles connect to the
+coordinator's loopback socket:
+
+* **workers** (spawned processes) -- ``hello`` then a stream of
+  ``heartbeat`` and ``done`` messages; the coordinator sends them
+  ``dispatch`` and ``shutdown``;
+* **control clients** -- ``hello`` then request/response verbs
+  (``stats``, ``dispatch``, ``drain``, ``rebind``, ``kill``); the
+  coordinator answers each with exactly one ``ok`` or ``error``.
+
+The framing is deliberately boring: length is bounded by
+:data:`MAX_LINE` (a malformed or hostile peer cannot balloon memory),
+payloads are plain JSON scalars/objects (no pickling across the process
+boundary), and the encoder sorts keys so byte streams are reproducible
+in tests.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Any, Optional
+
+import asyncio
+
+#: Upper bound on one encoded message (framing sanity, not a protocol
+#: limit anyone should approach -- jobs carry ids, not data).
+MAX_LINE = 1 << 20
+
+# Message types, worker <-> coordinator.
+HELLO = "hello"
+HEARTBEAT = "heartbeat"
+DISPATCH = "dispatch"
+DONE = "done"
+SHUTDOWN = "shutdown"
+
+# Message types, control <-> coordinator.
+STATS = "stats"
+DRAIN = "drain"
+REBIND = "rebind"
+KILL = "kill"
+OK = "ok"
+ERROR = "error"
+
+# Roles announced in ``hello``.
+ROLE_WORKER = "worker"
+ROLE_CONTROL = "control"
+
+
+class ProtocolError(RuntimeError):
+    """A peer violated the framing or message schema."""
+
+
+def encode(message: dict[str, Any]) -> bytes:
+    """One message -> one newline-terminated JSON line."""
+    if "type" not in message:
+        raise ProtocolError(f"message without a type: {message!r}")
+    line = json.dumps(message, separators=(",", ":"), sort_keys=True).encode("utf-8")
+    if len(line) >= MAX_LINE:
+        raise ProtocolError(f"message of {len(line)} bytes exceeds MAX_LINE")
+    return line + b"\n"
+
+
+def decode(line: bytes) -> dict[str, Any]:
+    """One wire line -> message dict (validating type presence)."""
+    if len(line) > MAX_LINE:
+        raise ProtocolError(f"line of {len(line)} bytes exceeds MAX_LINE")
+    try:
+        message = json.loads(line)
+    except ValueError as err:
+        raise ProtocolError(f"undecodable line {line[:80]!r}: {err}") from err
+    if not isinstance(message, dict) or "type" not in message:
+        raise ProtocolError(f"message without a type: {message!r}")
+    return message
+
+
+def send(writer: "asyncio.StreamWriter", message: dict[str, Any]) -> None:
+    """Queue one message on an asyncio stream (no flush await here;
+    callers drain at their own cadence)."""
+    writer.write(encode(message))
+
+
+async def recv(reader: "asyncio.StreamReader") -> Optional[dict[str, Any]]:
+    """Read one message, or ``None`` on a clean/abrupt connection end."""
+    try:
+        line = await reader.readline()
+    except (ConnectionError, asyncio.IncompleteReadError):
+        return None
+    if not line:
+        return None
+    return decode(line)
+
+
+class ControlClient:
+    """Blocking control-plane client (CLI- and test-facing).
+
+    Speaks the same JSON-lines protocol over a plain socket; each
+    :meth:`request` sends one verb and waits for the coordinator's
+    single ``ok``/``error`` reply.
+    """
+
+    def __init__(self, host: str, port: int, timeout_s: float = 10.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._file = self._sock.makefile("rwb")
+        self._send({"type": HELLO, "role": ROLE_CONTROL})
+
+    def _send(self, message: dict[str, Any]) -> None:
+        self._file.write(encode(message))
+        self._file.flush()
+
+    def request(self, verb: str, **fields: Any) -> dict[str, Any]:
+        """Send one control verb; return the coordinator's reply payload.
+
+        Raises :class:`ProtocolError` when the coordinator answers
+        ``error`` (the reply's ``detail`` becomes the message).
+        """
+        self._send({"type": verb, **fields})
+        line = self._file.readline()
+        if not line:
+            raise ProtocolError("coordinator closed the control connection")
+        reply = decode(line)
+        if reply["type"] == ERROR:
+            raise ProtocolError(reply.get("detail", "control request failed"))
+        if reply["type"] != OK:
+            raise ProtocolError(f"unexpected control reply {reply!r}")
+        return reply
+
+    def stats(self) -> dict[str, Any]:
+        """Coordinator state snapshot (fleet, queues, counters)."""
+        return self.request(STATS)["stats"]
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "ControlClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()

@@ -1,0 +1,243 @@
+"""One home for every golden fixture: record, re-record, drift-gate.
+
+The repository pins two behavioural recordings:
+
+``determinism``
+    per-scheduler metrics of a fixed cell (``tests/golden_determinism
+    .json``) -- any change to scheduling, caching or the cost model
+    shows up here;
+``perfetto``
+    the exact Perfetto ``trace_event`` JSON of a fixed-seed two-worker
+    run (``tests/golden_perfetto.json``) -- any change to span
+    construction, track layout or exporter formatting shows up here.
+
+Both used to carry their own regen script with its own ``--check``
+mode; this module is the single implementation behind them and behind
+the one CLI entry point CI now gates on::
+
+    PYTHONPATH=src python -m repro golden --check   # drift gate (CI)
+    PYTHONPATH=src python -m repro golden           # re-record all
+    PYTHONPATH=src python -m repro golden perfetto  # re-record one
+
+A drift failure means the committed fixture no longer matches what the
+code produces; if the behavioural change is deliberate, re-record and
+review the fixture diff like any other code change.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Sequence
+
+from repro.cluster.profiles import WorkerProfile
+from repro.cluster.worker_spec import WorkerSpec
+from repro.engine.runtime import EngineConfig, WorkflowRuntime
+from repro.obs import ObsConfig, build_spans, perfetto_trace
+from repro.schedulers.registry import SCHEDULERS, make_scheduler
+from repro.workload.job import Job, JobStream
+from repro.workload.msr import TASK_ANALYZER
+
+#: Default fixture directory: ``tests/`` at the repository root (this
+#: file lives at ``src/repro/experiments/golden.py``).
+FIXTURE_DIR = Path(__file__).resolve().parents[3] / "tests"
+
+REGEN_HINT = "PYTHONPATH=src python -m repro golden"
+
+# -- determinism fixture ----------------------------------------------------
+
+DET_WORKLOAD = "80%_small"
+DET_PROFILE = "fast-slow"
+DET_SEED = 7
+DET_ITERATIONS = 2
+
+
+def record_determinism() -> dict:
+    """Per-scheduler, per-iteration metrics of the pinned cell."""
+    from repro.experiments.runner import CellSpec, run_cell
+
+    golden = {}
+    for scheduler in sorted(SCHEDULERS):
+        results = run_cell(
+            CellSpec(
+                scheduler=scheduler,
+                workload=DET_WORKLOAD,
+                profile=DET_PROFILE,
+                seed=DET_SEED,
+                iterations=DET_ITERATIONS,
+            )
+        )
+        golden[scheduler] = [
+            {
+                "iteration": result.iteration,
+                "makespan_s": result.makespan_s,
+                "cache_misses": result.cache_misses,
+                "cache_hits": result.cache_hits,
+                "data_load_mb": result.data_load_mb,
+                "jobs_completed": result.jobs_completed,
+            }
+            for result in results
+        ]
+    return golden
+
+
+def explain_determinism_drift(committed: dict, current: dict) -> list[str]:
+    lines = []
+    for scheduler in sorted(set(committed) | set(current)):
+        was, now = committed.get(scheduler), current.get(scheduler)
+        if was != now:
+            lines.append(f"  {scheduler}:")
+            lines.append(f"    committed: {json.dumps(was, sort_keys=True)}")
+            lines.append(f"    current:   {json.dumps(now, sort_keys=True)}")
+    return lines
+
+
+# -- perfetto fixture -------------------------------------------------------
+
+PERFETTO_SEED = 3
+PERFETTO_SCHEDULER = "bidding"
+
+
+def golden_runtime() -> WorkflowRuntime:
+    """The pinned scenario: 2 unequal workers, 8 burst jobs, seed 3."""
+    profile = WorkerProfile(
+        "golden-2w",
+        (
+            WorkerSpec(name="w1", network_mbps=50.0, rw_mbps=100.0, link_latency=0.0),
+            WorkerSpec(name="w2", network_mbps=40.0, rw_mbps=80.0, link_latency=0.0),
+        ),
+    )
+    jobs = [
+        Job(
+            job_id=f"j{index}",
+            task=TASK_ANALYZER,
+            repo_id=f"r{index % 3}",
+            size_mb=20.0 + 5.0 * (index % 3),
+        )
+        for index in range(8)
+    ]
+    return WorkflowRuntime(
+        profile=profile,
+        stream=JobStream.burst(jobs),
+        scheduler=make_scheduler(PERFETTO_SCHEDULER),
+        config=EngineConfig(
+            seed=PERFETTO_SEED, trace=True, obs=ObsConfig(probe_interval_s=5.0)
+        ),
+    )
+
+
+def record_perfetto() -> dict:
+    """The exact Perfetto export of the pinned scenario."""
+    runtime = golden_runtime()
+    runtime.run()
+    trace = runtime.metrics.trace
+    return perfetto_trace(
+        trace,
+        spans=build_spans(trace),
+        probes=runtime.obs.probes,
+        flows=runtime.obs.flows,
+        label="golden",
+    )
+
+
+def explain_perfetto_drift(committed: dict, current: dict) -> list[str]:
+    was, now = committed["traceEvents"], current["traceEvents"]
+    lines = [f"  {len(was)} committed events vs {len(now)} current"]
+    for index, (a, b) in enumerate(zip(was, now)):
+        if a != b:
+            lines.append(f"  first differing event [{index}]:")
+            lines.append(f"    committed: {json.dumps(a, sort_keys=True)}")
+            lines.append(f"    current:   {json.dumps(b, sort_keys=True)}")
+            break
+    return lines
+
+
+# -- the registry and the shared record/check machinery ---------------------
+
+
+@dataclass(frozen=True)
+class GoldenFixture:
+    """One pinned recording: how to produce it and how to explain drift."""
+
+    name: str
+    filename: str
+    indent: int
+    record: Callable[[], dict]
+    explain_drift: Callable[[dict, dict], list[str]]
+
+
+FIXTURES: dict[str, GoldenFixture] = {
+    "determinism": GoldenFixture(
+        name="determinism",
+        filename="golden_determinism.json",
+        indent=2,
+        record=record_determinism,
+        explain_drift=explain_determinism_drift,
+    ),
+    "perfetto": GoldenFixture(
+        name="perfetto",
+        filename="golden_perfetto.json",
+        indent=1,
+        record=record_perfetto,
+        explain_drift=explain_perfetto_drift,
+    ),
+}
+
+
+def fixture_path(fixture: GoldenFixture, directory: Path | None = None) -> Path:
+    return (directory or FIXTURE_DIR) / fixture.filename
+
+
+def regenerate(fixture: GoldenFixture, directory: Path | None = None) -> Path:
+    """Re-record one fixture to disk; returns the path written."""
+    path = fixture_path(fixture, directory)
+    path.write_text(
+        json.dumps(fixture.record(), indent=fixture.indent, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    print(f"golden fixture '{fixture.name}' re-recorded at {path}")
+    return path
+
+
+def check(fixture: GoldenFixture, directory: Path | None = None) -> int:
+    """Drift gate: regenerate into memory, compare, exit-code semantics."""
+    path = fixture_path(fixture, directory)
+    committed = json.loads(path.read_text(encoding="utf-8"))
+    current = fixture.record()
+    if committed == current:
+        print(f"golden fixture '{fixture.name}' at {path} matches the current code")
+        return 0
+    print(f"golden fixture '{fixture.name}' at {path} DRIFTED from the current code:")
+    for line in fixture.explain_drift(committed, current):
+        print(line)
+    print(
+        "If the behavioural change is deliberate, re-record with\n"
+        f"  {REGEN_HINT} {fixture.name}"
+    )
+    return 1
+
+
+def run(
+    names: Sequence[str] = (),
+    do_check: bool = False,
+    directory: Path | None = None,
+) -> int:
+    """Record (or gate) the named fixtures -- all of them by default.
+
+    Returns a process exit code: non-zero if any gated fixture drifted.
+    """
+    selected = list(names) or sorted(FIXTURES)
+    unknown = [name for name in selected if name not in FIXTURES]
+    if unknown:
+        raise SystemExit(
+            f"unknown golden fixture(s) {unknown}; available: {sorted(FIXTURES)}"
+        )
+    status = 0
+    for name in selected:
+        fixture = FIXTURES[name]
+        if do_check:
+            status |= check(fixture, directory)
+        else:
+            regenerate(fixture, directory)
+    return status

@@ -44,8 +44,8 @@ class CellSpec:
     #: ``(("mean_interarrival_s", 0.0),)`` for a burst submission).
     workload_overrides: tuple[tuple[str, object], ...] = ()
     engine: Optional[EngineConfig] = None
-    #: Field overrides applied to the engine config (canonicalized through
-    #: :func:`repro.config.apply_overrides`, so deprecated spellings warn).
+    #: Field overrides applied to the engine config (validated through
+    #: :func:`repro.config.apply_overrides`; unknown keys raise).
     engine_overrides: tuple[tuple[str, object], ...] = ()
     #: Fault scenario injected into every iteration (``None`` = healthy run).
     faults: Optional[FaultPlan] = None

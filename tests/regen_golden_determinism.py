@@ -1,89 +1,19 @@
-"""Re-record ``golden_determinism.json`` (see test_determinism_golden).
+"""Thin wrapper: ``golden_determinism.json`` now lives behind the
+unified golden tooling in :mod:`repro.experiments.golden`.
 
-Run only when a *deliberate* behavioural change invalidates the
-fixture::
+Prefer the CLI entry point (the one CI gates on)::
 
-    PYTHONPATH=src python tests/regen_golden_determinism.py
+    PYTHONPATH=src python -m repro golden determinism           # re-record
+    PYTHONPATH=src python -m repro golden determinism --check   # drift gate
 
-CI instead runs the drift gate, which regenerates into memory and fails
-when the committed fixture differs from what the code produces now::
-
-    PYTHONPATH=src python tests/regen_golden_determinism.py --check
-
-Keep the cell parameters below in lockstep with
-``test_determinism_golden.py`` (that test asserts against exactly this
-recording).
+This script remains for muscle memory and for tests importing its
+``record``.
 """
 
-import json
 import sys
-from pathlib import Path
 
-from repro.experiments.runner import CellSpec, run_cell
-from repro.schedulers.registry import SCHEDULERS
-
-WORKLOAD = "80%_small"
-PROFILE = "fast-slow"
-SEED = 7
-ITERATIONS = 2
-
-
-def record() -> dict:
-    golden = {}
-    for scheduler in sorted(SCHEDULERS):
-        results = run_cell(
-            CellSpec(
-                scheduler=scheduler,
-                workload=WORKLOAD,
-                profile=PROFILE,
-                seed=SEED,
-                iterations=ITERATIONS,
-            )
-        )
-        golden[scheduler] = [
-            {
-                "iteration": result.iteration,
-                "makespan_s": result.makespan_s,
-                "cache_misses": result.cache_misses,
-                "cache_hits": result.cache_hits,
-                "data_load_mb": result.data_load_mb,
-                "jobs_completed": result.jobs_completed,
-            }
-            for result in results
-        ]
-    return golden
-
-
-def regenerate(path: Path) -> None:
-    path.write_text(
-        json.dumps(record(), indent=2, sort_keys=True) + "\n", encoding="utf-8"
-    )
-    print(f"golden fixture re-recorded at {path}")
-
-
-def check(path: Path) -> int:
-    """Fail (exit 1) when the committed fixture drifts from the code."""
-    committed = json.loads(path.read_text(encoding="utf-8"))
-    current = record()
-    if committed == current:
-        print(f"golden fixture at {path} matches the current code")
-        return 0
-    print(f"golden fixture at {path} DRIFTED from the current code:")
-    for scheduler in sorted(set(committed) | set(current)):
-        was, now = committed.get(scheduler), current.get(scheduler)
-        if was != now:
-            print(f"  {scheduler}:")
-            print(f"    committed: {json.dumps(was, sort_keys=True)}")
-            print(f"    current:   {json.dumps(now, sort_keys=True)}")
-    print(
-        "If the behavioural change is deliberate, re-record with\n"
-        "  PYTHONPATH=src python tests/regen_golden_determinism.py"
-    )
-    return 1
-
+from repro.experiments.golden import FIXTURES, record_determinism as record  # noqa: F401
+from repro.experiments.golden import run
 
 if __name__ == "__main__":
-    fixture = Path(__file__).parent / "golden_determinism.json"
-    if "--check" in sys.argv[1:]:
-        sys.exit(check(fixture))
-    regenerate(fixture)
+    sys.exit(run(["determinism"], do_check="--check" in sys.argv[1:]))

@@ -1,110 +1,20 @@
-"""Re-record ``golden_perfetto.json`` (see test_obs_export).
+"""Thin wrapper: ``golden_perfetto.json`` now lives behind the unified
+golden tooling in :mod:`repro.experiments.golden`.
 
-The fixture pins the exact Perfetto ``trace_event`` JSON emitted for a
-fixed-seed two-worker run, so any change to span construction, track
-layout or exporter formatting is a *deliberate*, reviewed diff.  Run
-only when such a change is intended::
+Prefer the CLI entry point (the one CI gates on)::
 
-    PYTHONPATH=src python tests/regen_golden_perfetto.py
+    PYTHONPATH=src python -m repro golden perfetto           # re-record
+    PYTHONPATH=src python -m repro golden perfetto --check   # drift gate
 
-CI-style drift gate (regenerates into memory, fails on mismatch)::
-
-    PYTHONPATH=src python tests/regen_golden_perfetto.py --check
-
-Keep the scenario below in lockstep with ``test_obs_export.py``.
+This script remains for muscle memory and for tests importing its
+``golden_runtime`` / ``record`` (``test_obs_export.py`` pins the exact
+scenario through them).
 """
 
-import json
 import sys
-from pathlib import Path
 
-from repro.cluster.profiles import WorkerProfile
-from repro.cluster.worker_spec import WorkerSpec
-from repro.engine.runtime import EngineConfig, WorkflowRuntime
-from repro.obs import ObsConfig, build_spans, perfetto_trace
-from repro.schedulers.registry import make_scheduler
-from repro.workload.job import Job, JobStream
-from repro.workload.msr import TASK_ANALYZER
-
-SEED = 3
-SCHEDULER = "bidding"
-
-
-def golden_runtime() -> WorkflowRuntime:
-    """The pinned scenario: 2 unequal workers, 6 burst jobs, seed 3."""
-    profile = WorkerProfile(
-        "golden-2w",
-        (
-            WorkerSpec(name="w1", network_mbps=50.0, rw_mbps=100.0, link_latency=0.0),
-            WorkerSpec(name="w2", network_mbps=40.0, rw_mbps=80.0, link_latency=0.0),
-        ),
-    )
-    jobs = [
-        Job(
-            job_id=f"j{index}",
-            task=TASK_ANALYZER,
-            repo_id=f"r{index % 3}",
-            size_mb=20.0 + 5.0 * (index % 3),
-        )
-        for index in range(8)
-    ]
-    return WorkflowRuntime(
-        profile=profile,
-        stream=JobStream.burst(jobs),
-        scheduler=make_scheduler(SCHEDULER),
-        config=EngineConfig(
-            seed=SEED, trace=True, obs=ObsConfig(probe_interval_s=5.0)
-        ),
-    )
-
-
-def record() -> dict:
-    runtime = golden_runtime()
-    runtime.run()
-    trace = runtime.metrics.trace
-    return perfetto_trace(
-        trace,
-        spans=build_spans(trace),
-        probes=runtime.obs.probes,
-        flows=runtime.obs.flows,
-        label="golden",
-    )
-
-
-def regenerate(path: Path) -> None:
-    path.write_text(
-        json.dumps(record(), indent=1, sort_keys=True) + "\n", encoding="utf-8"
-    )
-    print(f"golden Perfetto fixture re-recorded at {path}")
-
-
-def check(path: Path) -> int:
-    """Fail (exit 1) when the committed fixture drifts from the code."""
-    committed = json.loads(path.read_text(encoding="utf-8"))
-    current = record()
-    if committed == current:
-        print(f"golden Perfetto fixture at {path} matches the current code")
-        return 0
-    was, now = committed["traceEvents"], current["traceEvents"]
-    print(
-        f"golden Perfetto fixture at {path} DRIFTED: "
-        f"{len(was)} committed events vs {len(now)} current"
-    )
-    for index, (a, b) in enumerate(zip(was, now)):
-        if a != b:
-            print(f"  first differing event [{index}]:")
-            print(f"    committed: {json.dumps(a, sort_keys=True)}")
-            print(f"    current:   {json.dumps(b, sort_keys=True)}")
-            break
-    print(
-        "If the exporter change is deliberate, re-record with\n"
-        "  PYTHONPATH=src python tests/regen_golden_perfetto.py"
-    )
-    return 1
-
+from repro.experiments.golden import golden_runtime, record_perfetto as record  # noqa: F401
+from repro.experiments.golden import run
 
 if __name__ == "__main__":
-    fixture = Path(__file__).parent / "golden_perfetto.json"
-    if "--check" in sys.argv[1:]:
-        sys.exit(check(fixture))
-    regenerate(fixture)
+    sys.exit(run(["perfetto"], do_check="--check" in sys.argv[1:]))

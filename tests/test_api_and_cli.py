@@ -145,3 +145,91 @@ class TestCLIPaths:
             line.split()[2] for line in out.splitlines() if line.startswith(("0 ", "1 "))
         ]
         assert miss_columns == ["120", "120"]
+
+
+class TestExecCLI:
+    def test_diff_subcommand_writes_report_and_agrees(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "divergence.json"
+        code = main(
+            [
+                "exec",
+                "--diff",
+                "--schedulers",
+                "baseline",
+                "--jobs",
+                "6",
+                "--time-scale",
+                "0.002",
+                "--out",
+                str(out),
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "backends agree" in printed
+        assert "baseline" in printed
+        import json
+
+        assert json.loads(out.read_text())["ok"] is True
+
+    def test_single_replay_prints_pool_summary(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            ["exec", "--schedulers", "baseline", "--jobs", "6", "--time-scale", "0.002"]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "6/6 jobs" in printed
+        assert "handoff p50" in printed
+
+    def test_malformed_kill_flag_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="WORKER:AFTER"):
+            main(["exec", "--schedulers", "baseline", "--kill", "nope"])
+
+
+class TestGoldenCLI:
+    def test_check_passes_on_committed_fixtures(self, capsys):
+        from repro.cli import main
+
+        assert main(["golden", "--check"]) == 0
+        printed = capsys.readouterr().out
+        assert "determinism" in printed and "perfetto" in printed
+
+    def test_unknown_fixture_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit, match="unknown golden fixture"):
+            main(["golden", "nope"])
+
+
+class TestServeRealBackendCLI:
+    def test_serve_executes_on_the_real_pool(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "serve",
+                "--backend",
+                "real",
+                "--scheduler",
+                "baseline",
+                "--rate",
+                "1",
+                "--duration",
+                "5",
+                "--seed",
+                "3",
+                "--time-scale",
+                "0.005",
+            ]
+        )
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "plan captured" in printed
+        assert "real pool" in printed
+        assert "remain simulated" in printed

@@ -1,35 +1,26 @@
-"""The unified override pathway: routing, aliases, deprecation shims."""
+"""The unified override pathway: routing and loud rejection of typos.
+
+The 1.x alias shims (``duration``, ``loss``, ...) are gone: only
+canonical dataclass field names resolve, and anything else -- including
+the retired spellings -- raises ``TypeError`` listing the accepted
+keywords.
+"""
 
 import pytest
 
-from repro.config import (
-    DEPRECATED_ALIASES,
-    apply_overrides,
-    canonicalize,
-    resolve_overrides,
-)
+from repro.config import apply_overrides, resolve_overrides
 from repro.engine.runtime import EngineConfig
 from repro.experiments.runner import CellSpec
 from repro.serve import AdmissionConfig, ServiceConfig
 
-
-class TestCanonicalize:
-    def test_plain_keys_pass_through(self):
-        assert canonicalize({"seed": 3}) == {"seed": 3}
-
-    @pytest.mark.parametrize("alias,canonical", sorted(DEPRECATED_ALIASES.items()))
-    def test_aliases_rewrite_with_warning(self, alias, canonical):
-        with pytest.warns(DeprecationWarning, match=alias):
-            assert canonicalize({alias: 7}) == {canonical: 7}
-
-    def test_alias_plus_replacement_is_ambiguous(self):
-        with pytest.warns(DeprecationWarning):
-            with pytest.raises(TypeError, match="both"):
-                canonicalize({"duration": 1.0, "duration_s": 2.0})
-
-    def test_fault_tolerance_soft_deprecation_passes_through(self):
-        with pytest.warns(DeprecationWarning, match="FaultPlan"):
-            assert canonicalize({"fault_tolerance": True}) == {"fault_tolerance": True}
+#: The removed 1.x spellings and the canonical field each must name now.
+RETIRED_ALIASES = {
+    "duration": "duration_s",
+    "deadline": "deadline_s",
+    "max_inflight": "max_inflight_per_worker",
+    "loss": "message_loss",
+    "max_time": "max_sim_time",
+}
 
 
 class TestResolveOverrides:
@@ -44,13 +35,25 @@ class TestResolveOverrides:
         assert admission_kw == {"queue_cap": 8}
         assert engine_kw == {"message_loss": 0.1}
 
-    def test_aliases_route_to_their_canonical_home(self):
-        with pytest.warns(DeprecationWarning):
-            service_kw, admission_kw = resolve_overrides(
-                {"deadline": 30.0, "max_inflight": 2}, ServiceConfig, AdmissionConfig
+    @pytest.mark.parametrize("alias,canonical", sorted(RETIRED_ALIASES.items()))
+    def test_retired_aliases_are_rejected(self, alias, canonical):
+        with pytest.raises(TypeError, match=alias):
+            resolve_overrides(
+                {alias: 7}, ServiceConfig, AdmissionConfig, EngineConfig
             )
-        assert service_kw == {"deadline_s": 30.0, "max_inflight_per_worker": 2}
-        assert admission_kw == {}
+
+    @pytest.mark.parametrize("canonical", sorted(RETIRED_ALIASES.values()))
+    def test_canonical_spellings_resolve_warning_free(self, canonical, recwarn):
+        buckets = resolve_overrides(
+            {canonical: 7}, ServiceConfig, AdmissionConfig, EngineConfig
+        )
+        assert any(bucket == {canonical: 7} for bucket in buckets)
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
+
+    def test_fault_tolerance_is_a_plain_engine_field(self, recwarn):
+        (engine_kw,) = resolve_overrides({"fault_tolerance": True}, EngineConfig)
+        assert engine_kw == {"fault_tolerance": True}
+        assert not [w for w in recwarn if w.category is DeprecationWarning]
 
     def test_unknown_key_raises_listing_accepted(self):
         with pytest.raises(TypeError, match="duration_s"):
@@ -71,16 +74,32 @@ class TestApplyOverrides:
         config = EngineConfig(seed=1)
         assert apply_overrides(config, {}) is config
 
-    def test_cellspec_engine_overrides_apply_with_alias(self):
+    def test_retired_alias_rejected(self):
+        with pytest.raises(TypeError, match="loss"):
+            apply_overrides(EngineConfig(seed=1), {"loss": 0.2})
+
+
+class TestCellSpecOverrides:
+    def test_cellspec_engine_overrides_apply_canonical_names(self):
         spec = CellSpec(
             scheduler="bidding",
             workload="80%_large",
             profile="all-equal",
             seed=5,
-            engine_overrides=(("loss", 0.05), ("max_sim_time", 99.0)),
+            engine_overrides=(("message_loss", 0.05), ("max_sim_time", 99.0)),
         )
-        with pytest.warns(DeprecationWarning, match="loss"):
-            config = spec.engine_config()
+        config = spec.engine_config()
         assert config.message_loss == 0.05
         assert config.max_sim_time == 99.0
         assert config.seed == 5
+
+    def test_cellspec_rejects_retired_alias(self):
+        spec = CellSpec(
+            scheduler="bidding",
+            workload="80%_large",
+            profile="all-equal",
+            seed=5,
+            engine_overrides=(("loss", 0.05),),
+        )
+        with pytest.raises(TypeError, match="loss"):
+            spec.engine_config()

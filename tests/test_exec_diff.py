@@ -1,0 +1,105 @@
+"""The differential harness: the sim is the oracle, reality must agree.
+
+Tier-1 runs one clean cell and one kill cell at a small job count; the
+full 8-scheduler matrix (what CI's dedicated smoke job and `repro exec
+--diff` run) is marked ``slow`` for the nightly sweep.
+"""
+
+import pytest
+
+from repro import run_service
+from repro.exec.diff import (
+    SMOKE_JOBS,
+    diff_matrix,
+    run_diff,
+    smoke_stream,
+)
+from repro.exec.pool import KillSpec
+from repro.schedulers.registry import SCHEDULERS
+
+FAST = dict(n_jobs=10, time_scale=0.005)
+
+
+class TestSmokeScenario:
+    def test_stream_is_deterministic_and_mixed(self):
+        jobs_a = list(smoke_stream(seed=3))
+        jobs_b = list(smoke_stream(seed=3))
+        assert [(j.at, j.job) for j in jobs_a] == [(j.at, j.job) for j in jobs_b]
+        assert len(jobs_a) == SMOKE_JOBS
+        # Every 9th job is data-free, the rest carry a repository.
+        data_free = [j.job.repo_id is None for j in jobs_a]
+        assert sum(data_free) == SMOKE_JOBS // 9
+        assert list(smoke_stream(seed=4)) != jobs_a
+
+
+class TestCleanDiff:
+    def test_baseline_cell_agrees(self):
+        cell = run_diff("baseline", **FAST)
+        assert cell.ok, cell.divergences
+        assert cell.real["completed"] == cell.sim["completed"] == 10
+        assert cell.real["crashes"] == 0
+        assert cell.real["cache_hits"] == cell.sim["cache_hits"]
+        assert cell.real["data_load_mb"] == pytest.approx(cell.sim["data_load_mb"])
+
+    def test_bidding_cell_agrees(self):
+        # Contest timing windows make bidding the scheduler most likely
+        # to expose a capture-seam bug; keep it in tier-1.
+        cell = run_diff("bidding", **FAST)
+        assert cell.ok, cell.divergences
+
+    def test_divergence_report_shape(self):
+        report = diff_matrix(schedulers=("baseline",), **FAST)
+        assert report.ok
+        data = report.to_dict()
+        assert data["ok"] is True and data["kill"] is None
+        assert [c["scheduler"] for c in data["cells"]] == ["baseline"]
+        lines = report.summary_lines()
+        assert any("baseline" in line and "OK" in line for line in lines)
+
+    def test_report_writes_json(self, tmp_path):
+        report = diff_matrix(schedulers=("baseline",), **FAST)
+        path = report.write(str(tmp_path / "diff.json"))
+        import json
+
+        with open(path, encoding="utf-8") as handle:
+            assert json.load(handle)["ok"] is True
+
+
+class TestKillDiff:
+    def test_killing_a_worker_mid_run_loses_no_jobs(self):
+        cell = run_diff("baseline", kill=KillSpec("w1", after_done=3), **FAST)
+        assert cell.ok, cell.divergences
+        assert cell.real["crashes"] == 1
+        assert cell.real["conserved"] is True
+        # The kill fires mid-run, so at least one orphan was re-homed.
+        assert cell.real["redispatches"] >= 1
+
+
+@pytest.mark.slow
+class TestFullMatrix:
+    def test_every_scheduler_survives_the_differential(self):
+        report = diff_matrix(**FAST)
+        assert report.ok, "\n".join(report.summary_lines())
+        assert len(report.cells) == len(SCHEDULERS)
+
+
+class TestRunServiceRealBackend:
+    def test_real_backend_smoke(self):
+        sim = run_service(
+            "baseline", rate=2.0, duration_s=10.0, seed=11, backend="sim"
+        )
+        real = run_service(
+            "baseline", rate=2.0, duration_s=10.0, seed=11,
+            backend="real", time_scale=0.005,
+        )
+        # The real run executed the same admitted set, conserving jobs
+        # and reproducing the sim's locality outcome.
+        assert real.admitted == sim.admitted
+        assert real.completed + real.failed == real.admitted
+        assert real.crashes == 0
+        assert real.cache_hits == sim.cache_hits
+        assert real.data_load_mb == pytest.approx(sim.data_load_mb, abs=1e-6)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            run_service("baseline", rate=1.0, duration_s=5.0, backend="bogus")

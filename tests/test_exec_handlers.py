@@ -1,0 +1,50 @@
+"""The sandboxed handler registry: closed, deterministic, data-bounded."""
+
+import pytest
+
+from repro.exec.handlers import (
+    HANDLERS,
+    MAX_PAYLOAD_BYTES,
+    HandlerError,
+    payload_for,
+    run_handler,
+)
+
+
+class TestPayload:
+    def test_deterministic_per_job(self):
+        assert payload_for("j1", "r1", 10.0) == payload_for("j1", "r1", 10.0)
+
+    def test_distinct_jobs_get_distinct_payloads(self):
+        assert payload_for("j1", "r1", 10.0) != payload_for("j2", "r1", 10.0)
+
+    def test_size_scales_but_is_capped(self):
+        small = payload_for("j1", "r1", 1.0)
+        big = payload_for("j1", "r1", 10_000.0)
+        assert len(small) < len(big)
+        assert len(big) <= MAX_PAYLOAD_BYTES
+
+    def test_data_free_jobs_still_have_bytes(self):
+        assert len(payload_for("j1", None, 0.0)) >= 256
+
+
+class TestRegistry:
+    def test_registry_is_the_expected_closed_set(self):
+        assert set(HANDLERS) == {"checksum", "crc", "wordcount", "noop"}
+
+    @pytest.mark.parametrize("name", sorted(HANDLERS))
+    def test_every_handler_is_deterministic(self, name):
+        payload = payload_for("j1", "r1", 5.0)
+        assert run_handler(name, payload) == run_handler(name, payload)
+
+    def test_checksum_is_sha256_hex(self):
+        import hashlib
+
+        payload = payload_for("j9", "r2", 3.0)
+        assert run_handler("checksum", payload) == hashlib.sha256(payload).hexdigest()
+
+    def test_unknown_handler_refused(self):
+        # The registry is the sandbox boundary: names resolve here or
+        # nowhere -- dispatch messages can never smuggle code.
+        with pytest.raises(HandlerError, match="nope"):
+            run_handler("nope", b"data")

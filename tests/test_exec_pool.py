@@ -1,0 +1,242 @@
+"""The real coordinator against real OS processes.
+
+Hand-built two-worker plans with wide timing margins: worker ``a``
+carries deliberately slow jobs (scaled compute sleeps), worker ``b``
+near-instant ones, so races between "b finishes its burst" and "a is
+still grinding" resolve the same way on any machine.
+"""
+
+import threading
+import time
+
+import pytest
+
+from repro.exec.plan import Decision, ExecPlan, PlanJob, PlanWorker
+from repro.exec.pool import ExecBackend, ExecConfig, ExecError, KillSpec
+from repro.exec.protocol import ControlClient, ProtocolError
+
+TIME_SCALE = 0.002
+FAST_SPEC = dict(network_mbps=1000.0, rw_mbps=1000.0, cpu_factor=1.0, link_latency=0.0)
+#: 100 simulated compute-seconds -> 0.2 wall-seconds at TIME_SCALE.
+SLOW_COMPUTE_S = 100.0
+
+
+def hand_plan(slow_on_a=2, fast_on_b=2, preload_b=()):
+    """``slow_on_a`` jobs pinned to ``a`` (0.2 s wall each), ``fast_on_b``
+    near-instant jobs pinned to ``b``; decisions interleave a-first."""
+    workers = (
+        PlanWorker(name="a", **FAST_SPEC),
+        PlanWorker(name="b", **FAST_SPEC, preload=tuple(preload_b)),
+    )
+    jobs = []
+    decisions = []
+    seq = 0
+    for i in range(slow_on_a):
+        jobs.append(
+            PlanJob(
+                job_id=f"a{i}",
+                task="t",
+                repo_id="ra",
+                size_mb=2.0,
+                base_compute_s=SLOW_COMPUTE_S,
+                handler="noop",
+            )
+        )
+        decisions.append(Decision(seq=seq, job_id=f"a{i}", worker="a", at_s=0.0))
+        seq += 1
+    for i in range(fast_on_b):
+        jobs.append(
+            PlanJob(job_id=f"b{i}", task="t", repo_id="rb", size_mb=1.0, handler="noop")
+        )
+        decisions.append(Decision(seq=seq, job_id=f"b{i}", worker="b", at_s=0.0))
+        seq += 1
+    return ExecPlan(
+        scheduler="hand",
+        seed=0,
+        workers=workers,
+        jobs=tuple(jobs),
+        decisions=tuple(decisions),
+    )
+
+
+def config(**overrides):
+    base = dict(time_scale=TIME_SCALE, run_timeout_s=60.0, trace=False)
+    base.update(overrides)
+    return ExecConfig(**base)
+
+
+class TestCleanRun:
+    def test_plan_is_preserved_on_real_processes(self):
+        plan = hand_plan(slow_on_a=2, fast_on_b=3)
+        backend = ExecBackend(plan, config())
+        report = backend.run()
+
+        assert report.conserved
+        assert report.admitted == report.completed == 5
+        assert report.failed == report.crashes == 0
+        assert report.redispatches == report.duplicates_suppressed == 0
+        # The assignment log IS the plan, nothing re-dispatched.
+        assert report.assigned == tuple(
+            (d.job_id, d.worker, False) for d in plan.decisions
+        )
+        # Per-worker completion order follows plan order (FIFO workers).
+        assert report.per_worker_completed == {
+            name: tuple(ids) for name, ids in plan.per_worker_order().items()
+        }
+        # Each worker misses its repo once, then hits it.
+        assert report.per_worker_cache == {"a": (1, 1), "b": (2, 1)}
+        assert report.cache_hits == 3 and report.cache_misses == 2
+        assert report.data_load_mb == pytest.approx(2.0 + 1.0)
+        assert report.wall_s > 0 and report.throughput_jobs_per_s > 0
+
+    def test_preload_makes_the_first_touch_a_hit(self):
+        plan = hand_plan(slow_on_a=0, fast_on_b=2, preload_b=(("rb", 1.0),))
+        report = ExecBackend(plan, config()).run()
+        assert report.per_worker_cache["b"] == (2, 0)
+        assert report.data_load_mb == 0.0
+
+
+class TestFaults:
+    def test_sigkill_mid_run_loses_no_jobs(self):
+        # b's two instant jobs complete first; the kill then fires while
+        # a is still grinding its first slow job, orphaning all three.
+        plan = hand_plan(slow_on_a=3, fast_on_b=2)
+        backend = ExecBackend(plan, config(), kills=(KillSpec("a", after_done=2),))
+        report = backend.run()
+
+        assert report.crashes == 1
+        assert report.conserved
+        assert report.completed == 5 and report.failed == 0
+        assert report.redispatches == 3
+        # The orphans re-homed onto the survivor and finished there.
+        redispatched = [j for j, w, r in report.assigned if r]
+        assert sorted(redispatched) == ["a0", "a1", "a2"]
+        assert all(w == "b" for j, w, r in report.assigned if r)
+
+    def test_wedged_worker_is_evicted_by_missed_heartbeats(self):
+        # a executes one fast job, then wedges silently (no DONE, no
+        # beats); the watchdog evicts it and its jobs re-home to b.
+        plan = hand_plan(slow_on_a=0, fast_on_b=2)
+        wedge_jobs = tuple(
+            PlanJob(job_id=f"w{i}", task="t", repo_id="ra", size_mb=1.0, handler="noop")
+            for i in range(2)
+        )
+        plan = ExecPlan(
+            scheduler="hand",
+            seed=0,
+            workers=plan.workers,
+            jobs=plan.jobs + wedge_jobs,
+            decisions=plan.decisions
+            + tuple(
+                Decision(seq=2 + i, job_id=f"w{i}", worker="a", at_s=0.0)
+                for i in range(2)
+            ),
+        )
+        backend = ExecBackend(
+            plan,
+            config(heartbeat_s=0.1, miss_limit=3, stall_after=(("a", 1),)),
+        )
+        report = backend.run()
+
+        assert report.crashes == 1
+        assert report.conserved
+        assert report.completed == 4 and report.failed == 0
+        assert report.duplicates_suppressed == 0
+        assert report.redispatches == 2
+        assert report.per_worker_completed["a"] == ()
+
+    def test_kill_targeting_unknown_worker_is_rejected_up_front(self):
+        with pytest.raises(ExecError, match="unknown worker 'ghost'"):
+            ExecBackend(hand_plan(), config(), kills=(KillSpec("ghost", 1),))
+
+
+class TestScriptedControl:
+    def test_drain_rehomes_the_undelivered_backlog(self):
+        # a: 4 slow jobs, in-flight cap 1 -> 3 sit in its ready queue.
+        # b's instant job completes first and trips the drain script.
+        plan = hand_plan(slow_on_a=4, fast_on_b=1)
+        backend = ExecBackend(
+            plan,
+            config(inflight_per_worker=1),
+            script=((1, {"type": "drain", "worker": "a"}),),
+        )
+        report = backend.run()
+
+        assert report.conserved
+        assert report.completed == 5 and report.failed == 0
+        assert backend.workers["a"].draining
+        # The in-flight job finished on a; the queued three moved to b.
+        assert report.per_worker_completed["a"] == ("a0",)
+        assert report.redispatches == 3
+        moved = [j for j, w, r in report.assigned if r]
+        assert sorted(moved) == ["a1", "a2", "a3"]
+
+    def test_rebind_moves_one_queued_job(self):
+        plan = hand_plan(slow_on_a=3, fast_on_b=1)
+        backend = ExecBackend(
+            plan,
+            config(inflight_per_worker=1),
+            script=((1, {"type": "rebind", "job_id": "a2", "worker": "b"}),),
+        )
+        report = backend.run()
+
+        assert report.conserved and report.completed == 4
+        assert ("a2", "b", True) in report.assigned
+        assert "a2" in report.per_worker_completed["b"]
+        assert report.per_worker_completed["a"] == ("a0", "a1")
+
+
+class TestControlSocket:
+    def test_live_stats_dispatch_and_error_replies(self):
+        # Enough slow work on a to keep the pool alive while the client
+        # talks to it (4 x 0.2 s wall).
+        plan = hand_plan(slow_on_a=4, fast_on_b=0)
+        backend = ExecBackend(plan, config(inflight_per_worker=1))
+        runner = threading.Thread(target=lambda: setattr(backend, "_result", backend.run()))
+        runner.start()
+        try:
+            deadline = time.monotonic() + 30.0
+            while backend.port is None and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert backend.port is not None, "coordinator never bound its socket"
+            # Also wait until intake ran, so stats sees admitted jobs.
+            while backend.admitted == 0 and time.monotonic() < deadline:
+                time.sleep(0.01)
+
+            with ControlClient("127.0.0.1", backend.port, timeout_s=10.0) as client:
+                stats = client.stats()
+                assert stats["scheduler"] == "hand"
+                assert stats["admitted"] == 4
+                assert set(stats["workers"]) == {"a", "b"}
+
+                reply = client.request(
+                    "dispatch", job_id="extra", worker="b", handler="noop"
+                )
+                assert reply["worker"] == "b"
+
+                with pytest.raises(ProtocolError, match="unknown worker"):
+                    client.request("dispatch", job_id="extra2", worker="ghost")
+                with pytest.raises(ProtocolError, match="unknown control verb"):
+                    client.request("frobnicate")
+        finally:
+            runner.join(timeout=60.0)
+        assert not runner.is_alive()
+        report = backend._result
+        assert report.conserved
+        assert report.admitted == 5 and report.completed == 5
+        assert "extra" in report.per_worker_completed["b"]
+
+
+class TestConfigValidation:
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            dict(time_scale=0.0),
+            dict(heartbeat_s=-1.0),
+            dict(miss_limit=0),
+            dict(inflight_per_worker=0),
+        ],
+    )
+    def test_bad_knobs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            ExecConfig(**bad)

@@ -1,0 +1,63 @@
+"""Framing of the exec wire protocol: boring on purpose, pinned here."""
+
+import asyncio
+
+import pytest
+
+from repro.exec import protocol
+
+
+class TestEncode:
+    def test_round_trip(self):
+        message = {"type": "dispatch", "job_id": "j1", "size_mb": 2.5}
+        assert protocol.decode(protocol.encode(message)) == message
+
+    def test_one_line_newline_terminated_sorted_keys(self):
+        line = protocol.encode({"type": "x", "b": 1, "a": 2})
+        assert line.endswith(b"\n")
+        assert line.count(b"\n") == 1
+        assert line == b'{"a":2,"b":1,"type":"x"}\n'
+
+    def test_type_field_is_mandatory(self):
+        with pytest.raises(protocol.ProtocolError, match="without a type"):
+            protocol.encode({"job_id": "j1"})
+
+    def test_oversized_message_refused(self):
+        with pytest.raises(protocol.ProtocolError, match="MAX_LINE"):
+            protocol.encode({"type": "x", "blob": "a" * protocol.MAX_LINE})
+
+
+class TestDecode:
+    def test_rejects_garbage(self):
+        with pytest.raises(protocol.ProtocolError, match="undecodable"):
+            protocol.decode(b"{nope\n")
+
+    def test_rejects_non_object(self):
+        with pytest.raises(protocol.ProtocolError, match="without a type"):
+            protocol.decode(b"[1,2,3]\n")
+
+    def test_rejects_missing_type(self):
+        with pytest.raises(protocol.ProtocolError, match="without a type"):
+            protocol.decode(b'{"a":1}\n')
+
+    def test_rejects_oversized_line(self):
+        fat = b'{"type":"x","b":"' + b"a" * protocol.MAX_LINE + b'"}\n'
+        with pytest.raises(protocol.ProtocolError, match="MAX_LINE"):
+            protocol.decode(fat)
+
+
+class TestRecv:
+    def _recv_from(self, payload: bytes):
+        async def scenario():
+            reader = asyncio.StreamReader()
+            reader.feed_data(payload)
+            reader.feed_eof()
+            return await protocol.recv(reader)
+
+        return asyncio.run(scenario())
+
+    def test_reads_one_message(self):
+        assert self._recv_from(b'{"type":"heartbeat"}\n') == {"type": "heartbeat"}
+
+    def test_eof_returns_none(self):
+        assert self._recv_from(b"") is None
