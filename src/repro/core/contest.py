@@ -18,6 +18,8 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Optional
 
+import numpy as np
+
 from repro.engine.messages import Bid
 from repro.sim.events import Event
 
@@ -118,7 +120,17 @@ class Contest:
         """
         if not self.bids:
             return None
-        return min(self.bids.values(), key=lambda bid: (bid.cost_s, bid.worker)).worker
+        bids = list(self.bids.values())
+        if len(bids) < 16:
+            return min(bids, key=lambda bid: (bid.cost_s, bid.worker)).worker
+        # Fleet-sized contests: one vectorised min over the cost plane,
+        # then the name tie-break among the (rare) exact-cost ties --
+        # the same (cost_s, worker) order as the scalar scan.
+        costs = np.fromiter((bid.cost_s for bid in bids), np.float64, len(bids))
+        ties = np.nonzero(costs == costs.min())[0]
+        if ties.size == 1:
+            return bids[int(ties[0])].worker
+        return min(bids[int(i)].worker for i in ties)
 
     def close(self) -> str:
         """Close the contest and classify the outcome.

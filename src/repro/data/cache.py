@@ -61,6 +61,11 @@ class WorkerCache:
     capacity_mb: float = float("inf")
     _items: "OrderedDict[str, float]" = field(default_factory=OrderedDict)
     stats: CacheStats = field(default_factory=CacheStats)
+    #: Optional membership observer (``on_insert(repo_id)``,
+    #: ``on_evict(repo_id)``, ``on_clear()``) -- the seam the
+    #: struct-of-arrays cache plane (:mod:`repro.fleet`) hangs off.
+    #: Only *membership* changes notify; recency moves do not.
+    observer: object = None
 
     def __post_init__(self) -> None:
         if self.capacity_mb <= 0:
@@ -137,6 +142,10 @@ class WorkerCache:
             self.stats.mb_evicted += old_size
             evicted.append(old_id)
         self._items[repo_id] = size_mb
+        if self.observer is not None:
+            for old_id in evicted:
+                self.observer.on_evict(old_id)
+            self.observer.on_insert(repo_id)
         return evicted
 
     def preload(self, contents: dict[str, float]) -> None:
@@ -151,10 +160,16 @@ class WorkerCache:
             if repo_id in self._items:
                 continue
             while self._items and self.used_mb + size_mb > self.capacity_mb:
-                self._items.popitem(last=False)
+                old_id, _ = self._items.popitem(last=False)
+                if self.observer is not None:
+                    self.observer.on_evict(old_id)
             if size_mb <= self.capacity_mb:
                 self._items[repo_id] = size_mb
+                if self.observer is not None:
+                    self.observer.on_insert(repo_id)
 
     def clear(self) -> None:
         """Drop all contents (cold restart); stats are preserved."""
         self._items.clear()
+        if self.observer is not None:
+            self.observer.on_clear()

@@ -144,6 +144,13 @@ class Master:
         #: job_id -> (job, worker, assigned_at) for in-flight assignments;
         #: feeds orphan recovery and the straggler monitor.
         self._assigned_at: dict[str, tuple[Job, str, float]] = {}
+        #: Optional struct-of-arrays fleet mirror (see :mod:`repro.fleet`);
+        #: attached by the runtime when the fast path is enabled.  The
+        #: membership methods below keep its active plane in sync, and
+        #: :attr:`_age` mirrors ``_assigned_at`` for the vectorised
+        #: straggler scan.
+        self.fleet = None
+        self._age = None
         #: Re-armed straggler-scan timer (set in :meth:`start` when the
         #: recovery policy enables a re-dispatch timeout).
         self._straggler_timer = None
@@ -192,11 +199,40 @@ class Master:
             raise ValueError(f"assignment to unknown worker {worker!r}")
         self.assignments[job.job_id] = worker
         self._assigned_at[job.job_id] = (job, worker, self.sim.now)
+        if self._age is not None:
+            self._age.add(job.job_id, job, worker, self.sim.now)
         self.metrics.job_assigned(self.sim.now, job, worker)
         if self.monitor is not None:
             self.monitor.on_assigned(job.job_id, worker, self.sim.now)
         for listener in self.assignment_listeners:
             listener(job, worker, self.sim.now)
+
+    def _drop_assignment(self, job_id: str) -> None:
+        self._assigned_at.pop(job_id, None)
+        if self._age is not None:
+            self._age.remove(job_id)
+
+    def attach_fleet(self, fleet) -> None:
+        """Install the struct-of-arrays mirror (runtime wiring).
+
+        Seeds the active plane from the current membership and arms the
+        :class:`~repro.fleet.JobAgeTable` mirror of ``_assigned_at``.
+        """
+        from repro.fleet import JobAgeTable
+
+        self.fleet = fleet
+        self._age = JobAgeTable()
+        for job_id, (job, worker, at) in self._assigned_at.items():
+            self._age.add(job_id, job, worker, at)
+        for name in self.worker_names:
+            fleet.ensure_worker(name)
+        for name in self.active_workers:
+            fleet.on_join(name)
+        # Policies bind before the runtime wires the fleet, so give them
+        # a post-attach hook to swap in their own mirrors.
+        hook = getattr(self.policy, "on_fleet_attached", None)
+        if hook is not None:
+            hook()
 
     def send_to_worker(self, worker: str, message: object) -> None:
         """Point-to-point message to one worker (persistent delivery for
@@ -230,6 +266,8 @@ class Master:
             raise ValueError(f"worker {name!r} already registered")
         self.worker_names.append(name)
         self.active_workers.append(name)
+        if self.fleet is not None:
+            self.fleet.on_join(name)
         self.metrics.worker_joined(self.sim.now, name)
         self.policy.on_worker_joined(name)
 
@@ -244,6 +282,8 @@ class Master:
         if name not in self.active_workers:
             raise ValueError(f"worker {name!r} is not active")
         self.active_workers.remove(name)
+        if self.fleet is not None:
+            self.fleet.on_retire(name)
         self.metrics.worker_retired(self.sim.now, name)
         self.policy.on_worker_retired(name)
 
@@ -258,6 +298,8 @@ class Master:
         if name in self.active_workers:
             raise ValueError(f"worker {name!r} is already active")
         self.active_workers.append(name)
+        if self.fleet is not None:
+            self.fleet.on_join(name)
         self.metrics.worker_restarted(self.sim.now, name)
         self.policy.on_worker_joined(name)
 
@@ -347,7 +389,7 @@ class Master:
             self.metrics.duplicate_suppressed(self.sim.now, job, message.worker)
             return
         self._completed_ids.add(job.job_id)
-        self._assigned_at.pop(job.job_id, None)
+        self._drop_assignment(job.job_id)
         if self.obs is not None:
             self.obs.completion_ctx(job.job_id, message.ctx)
         children = self.pipeline.on_completion(job)
@@ -377,6 +419,8 @@ class Master:
     def _on_worker_failure(self, message: WorkerFailure) -> None:
         if message.worker in self.active_workers:
             self.active_workers.remove(message.worker)
+            if self.fleet is not None:
+                self.fleet.on_fail(message.worker)
         orphans = [
             job
             for job in message.orphaned
@@ -408,7 +452,7 @@ class Master:
 
     def _recover_orphan(self, job: Job, worker: Optional[str]) -> None:
         """Re-dispatch an orphan through the policy, within the budget."""
-        self._assigned_at.pop(job.job_id, None)
+        self._drop_assignment(job.job_id)
         if job.job_id in self._completed_ids or job.job_id in self.failed_jobs:
             return
         attempts = self._redispatch_counts.get(job.job_id, 0)
@@ -448,7 +492,7 @@ class Master:
         if job.job_id in self.failed_jobs or job.job_id in self._completed_ids:
             return
         self.failed_jobs[job.job_id] = reason
-        self._assigned_at.pop(job.job_id, None)
+        self._drop_assignment(job.job_id)
         self.metrics.job_failed(self.sim.now, job, reason)
         if self.monitor is not None:
             self.monitor.on_failed(job.job_id, self.sim.now)
@@ -467,11 +511,16 @@ class Master:
         """
         timeout = self.recovery.redispatch_timeout_s
         now = self.sim.now
-        overdue = [
-            (job, worker)
-            for job, worker, at in list(self._assigned_at.values())
-            if now - at >= timeout
-        ]
+        if self._age is not None:
+            # Vectorised scan over the age-table mirror -- same float
+            # comparison, same insertion order as the dict walk below.
+            overdue = self._age.overdue(now, timeout)
+        else:
+            overdue = [
+                (job, worker)
+                for job, worker, at in list(self._assigned_at.values())
+                if now - at >= timeout
+            ]
         for job, worker in overdue:
             self.metrics.job_orphaned(now, job, worker)
             if self.monitor is not None:

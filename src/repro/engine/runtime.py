@@ -23,6 +23,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from repro.check.invariants import InvariantMonitor, as_check_config
 from repro.cluster.machine import Machine
 from repro.cluster.profiles import WorkerProfile
@@ -31,6 +33,7 @@ from repro.engine.master import Master
 from repro.engine.worker import WorkerNode
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import FaultPlan
+from repro.fleet import FleetState, soa_enabled
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.report import RunResult
 from repro.net.bandwidth import FairSharePipe
@@ -231,6 +234,12 @@ def restart_worker(host, name: str) -> WorkerNode:
         obs=getattr(host, "obs", None),
     )
     host.workers[name] = node
+    fleet = getattr(host, "fleet", None)
+    if fleet is not None:
+        # Re-attach the fresh node under the same slot: resets the
+        # counts/liveness planes and re-syncs the cache row (warm or
+        # cold per the fault plan).
+        fleet.attach_node(node)
     host.master.revive_worker(name)
     node.start()
     policy = host._master_policy
@@ -363,6 +372,15 @@ class WorkflowRuntime:
             fault_tolerance=self.config.fault_tolerance,
             recovery=faults.recovery if faults is not None else None,
         )
+        #: Struct-of-arrays fleet mirror (see :mod:`repro.fleet`), or
+        #: ``None`` when ``REPRO_FLEET_SOA=0`` pins the per-object path.
+        #: Policies reach it through ``master.fleet`` to decide whether
+        #: their vectorised scans are on.
+        self.fleet: Optional[FleetState] = FleetState() if soa_enabled() else None
+        if self.fleet is not None:
+            self.master.attach_fleet(self.fleet)
+            for node in self.workers.values():
+                self.fleet.attach_node(node)
         if self.monitor is not None:
             self.master.monitor = self.monitor
             self.monitor.recovery_enabled = self.master.recovery is not None
@@ -401,22 +419,29 @@ class WorkflowRuntime:
         """
         probes = self.obs.probes
         master = self.master
+        fleet = self.fleet
         probes.register("master.outstanding", lambda: master.outstanding, unit="jobs")
         probes.register("fleet.active", lambda: len(master.active_workers), unit="workers")
-        probes.register(
-            "fleet.busy",
-            lambda: sum(
-                1 for w in self.workers.values() if w.alive and not w.is_idle
-            ),
-            unit="workers",
-        )
-        probes.register(
-            "links.busy",
-            lambda: sum(
-                1 for w in self.workers.values() if w.alive and w.machine.link.busy
-            ),
-            unit="links",
-        )
+        if fleet is not None:
+            # One vectorised count over the mirror planes instead of a
+            # per-worker Python walk each sample.
+            probes.register("fleet.busy", fleet.busy_count, unit="workers")
+            probes.register("links.busy", fleet.link_busy_count, unit="links")
+        else:
+            probes.register(
+                "fleet.busy",
+                lambda: sum(
+                    1 for w in self.workers.values() if w.alive and not w.is_idle
+                ),
+                unit="workers",
+            )
+            probes.register(
+                "links.busy",
+                lambda: sum(
+                    1 for w in self.workers.values() if w.alive and w.machine.link.busy
+                ),
+                unit="links",
+            )
         policy = self._master_policy
         if hasattr(policy, "in_flight"):
             probes.register(
@@ -439,18 +464,35 @@ class WorkflowRuntime:
             probes.register(
                 "origin.active", lambda: origin.active_count, unit="transfers"
             )
-        for name in self.workers:
-            probes.register(
-                f"worker.{name}.queue",
-                lambda name=name: self.workers[name].queued_count,
+        if fleet is not None:
+            # Vector probe groups: the whole fleet's queue depths and
+            # busy flags in one array gather per sample instead of a
+            # per-worker lambda walk (restart-swapped nodes report into
+            # the same slot, so the gather stays current).
+            names = list(self.workers)
+            slots = np.array([fleet.slot_of(name) for name in names], dtype=np.intp)
+            probes.register_vector(
+                [f"worker.{name}.queue" for name in names],
+                lambda: fleet.queued_values(slots),
                 unit="jobs",
             )
-            probes.register(
-                f"worker.{name}.busy",
-                lambda name=name: int(
-                    self.workers[name].alive and not self.workers[name].is_idle
-                ),
+            probes.register_vector(
+                [f"worker.{name}.busy" for name in names],
+                lambda: fleet.busy_values(slots),
             )
+        else:
+            for name in self.workers:
+                probes.register(
+                    f"worker.{name}.queue",
+                    lambda name=name: self.workers[name].queued_count,
+                    unit="jobs",
+                )
+                probes.register(
+                    f"worker.{name}.busy",
+                    lambda name=name: int(
+                        self.workers[name].alive and not self.workers[name].is_idle
+                    ),
+                )
 
     # -- execution ----------------------------------------------------------
 

@@ -119,6 +119,12 @@ class WorkerNode:
         #: Optional observability recorder (see :mod:`repro.obs`);
         #: attached by the runtime when ``EngineConfig.obs`` is set.
         self.obs = None
+        #: Optional struct-of-arrays fleet mirror (see :mod:`repro.fleet`);
+        #: wired by the runtime via :meth:`FleetState.attach_node`.  The
+        #: node reports *absolute* counts at every seam so the mirror can
+        #: never drift from its own counters.
+        self.fleet = None
+        self.fleet_slot = -1
         #: job_id -> span context from the Assignment, echoed on completion.
         self._assign_ctxs: dict[str, object] = {}
 
@@ -195,6 +201,8 @@ class WorkerNode:
         self.unfinished[job.job_id] = estimated_cost
         self._outstanding_jobs += 1
         self.queue.put(job)
+        if self.fleet is not None:
+            self.fleet.report(self.fleet_slot, self._outstanding_jobs, len(self.queue))
         if self._prefetch_signal is not None and not self._prefetch_signal.triggered:
             self._prefetch_signal.succeed()
 
@@ -245,6 +253,10 @@ class WorkerNode:
         while True:
             job = yield self.queue.get()
             self.current_job = job
+            if self.fleet is not None:
+                self.fleet.report(
+                    self.fleet_slot, self._outstanding_jobs, len(self.queue)
+                )
             started = self.sim.now
             self.metrics.job_started(started, job, self.name)
             if self.monitor is not None:
@@ -258,6 +270,10 @@ class WorkerNode:
             self.current_job = None
             self._outstanding_jobs -= 1
             self.unfinished.pop(job.job_id, None)
+            if self.fleet is not None:
+                self.fleet.report(
+                    self.fleet_slot, self._outstanding_jobs, len(self.queue)
+                )
             self.policy.on_job_finished(job, elapsed)
             ctx = None
             if self.obs is not None:
@@ -392,6 +408,9 @@ class WorkerNode:
         self.queue.items.clear()
         self.unfinished.clear()
         self._outstanding_jobs = 0
+        if self.fleet is not None:
+            self.fleet.report(self.fleet_slot, 0, 0)
+            self.fleet.set_alive(self.fleet_slot, False)
         if self._exec_proc is not None and self._exec_proc.is_alive:
             if self.current_job is not None:
                 self._exec_proc.interrupt("worker-killed")

@@ -9,6 +9,8 @@ commits and gated in CI:
 * ``process_pingpong``  -- generator trampoline context switches,
 * ``pipe_churn``        -- fair-share pipe transfer starts+finishes (ops/s),
 * ``broker_fanout``     -- pub/sub message deliveries (deliveries/s),
+* ``fleet_scan``        -- struct-of-arrays scheduler selection scans
+  over a 1k-worker fleet mirror (scans/s; see :mod:`repro.fleet`),
 * ``full_cell``         -- one end-to-end :func:`run_cell` (wall seconds).
 
 Each benchmark reports the *best* of ``repeats`` runs (minimum wall
@@ -32,8 +34,14 @@ from typing import Callable, Optional
 
 SCHEMA_VERSION = 1
 
-#: The metric the CI regression gate watches (events/s, higher better).
+#: The primary metric the CI regression gate watches (kept for
+#: backwards compatibility with older baselines/reports).
 GATE_METRIC = "kernel_timeouts"
+
+#: Every metric the CI regression gate watches (rates, higher better).
+#: Metrics absent from an older committed baseline are skipped, so the
+#: gate tightens automatically once the baseline is regenerated.
+GATE_METRICS = ("kernel_timeouts", "fleet_scan")
 
 
 @dataclass(frozen=True)
@@ -187,6 +195,28 @@ def _bench_broker_fanout(publishes: int, subscribers: int) -> int:
     return publishes * subscribers
 
 
+def _bench_fleet_scan(workers: int, rounds: int) -> int:
+    """Struct-of-arrays scheduler selection scans over a big fleet.
+
+    One round = one (load, name)-rank argmin over the fleet mirror --
+    alternating full-domain and holder-masked, the two shapes every
+    centralized scheduler pick takes with the fast path on -- plus the
+    winner's accumulator update.
+    """
+    import numpy as np
+
+    from repro.fleet import LoadTable
+
+    table = LoadTable()
+    table.reset({f"w{i:04d}": 0.0 for i in range(workers)})
+    holders = np.zeros(workers, dtype=bool)
+    holders[::7] = True
+    for i in range(rounds):
+        name = table.argmin_name(holders if i % 2 else None)
+        table.add(name, 1.0 + (i % 5))
+    return rounds
+
+
 def _bench_full_cell() -> int:
     """One end-to-end experiment cell (the macro benchmark)."""
     from repro.experiments.runner import CellSpec, run_cell
@@ -227,6 +257,11 @@ def run_benchmarks(quick: bool = False, repeats: int = 3) -> list[BenchResult]:
             "deliveries/s",
             lambda: _bench_broker_fanout(10_000 // scale, 20),
         ),
+        (
+            "fleet_scan",
+            "scans/s",
+            lambda: _bench_fleet_scan(1_000, 10_000 // scale),
+        ),
         ("full_cell", "s", _bench_full_cell),
     ]
     results = []
@@ -253,26 +288,36 @@ def to_report(results: list[BenchResult], quick: bool) -> dict:
 def check_regression(
     report: dict, baseline_path: str, tolerance: float = 0.10
 ) -> Optional[str]:
-    """Compare kernel timeout throughput against a committed baseline.
+    """Compare gated hot-path throughputs against a committed baseline.
 
-    Returns an error string when throughput fell more than ``tolerance``
-    below the baseline, ``None`` otherwise.  Only :data:`GATE_METRIC` is
-    gated -- the macro benchmarks are too machine-sensitive to block CI.
+    Returns an error string when any :data:`GATE_METRICS` rate fell more
+    than ``tolerance`` below the baseline, ``None`` otherwise.  Gate
+    metrics missing from an older baseline are skipped; the macro
+    benchmarks are too machine-sensitive to block CI and are never
+    gated.
     """
     with open(baseline_path, "r", encoding="utf-8") as handle:
         baseline = json.load(handle)
-    base = baseline.get("results", {}).get(GATE_METRIC)
-    current = report.get("results", {}).get(GATE_METRIC)
-    if base is None or current is None:
-        return f"baseline or current report lacks the {GATE_METRIC!r} result"
-    base_rate = base["rate"]
-    current_rate = current["rate"]
-    floor = base_rate * (1.0 - tolerance)
-    if current_rate < floor:
-        return (
-            f"{GATE_METRIC} regressed: {current_rate:,.0f} events/s vs baseline "
-            f"{base_rate:,.0f} (floor {floor:,.0f} at {tolerance:.0%} tolerance)"
-        )
+    gated = False
+    for metric in GATE_METRICS:
+        base = baseline.get("results", {}).get(metric)
+        if base is None:
+            continue
+        current = report.get("results", {}).get(metric)
+        if current is None:
+            return f"current report lacks the gated {metric!r} result"
+        gated = True
+        base_rate = base["rate"]
+        current_rate = current["rate"]
+        floor = base_rate * (1.0 - tolerance)
+        if current_rate < floor:
+            unit = current.get("unit", "ops/s")
+            return (
+                f"{metric} regressed: {current_rate:,.0f} {unit} vs baseline "
+                f"{base_rate:,.0f} (floor {floor:,.0f} at {tolerance:.0%} tolerance)"
+            )
+    if not gated:
+        return f"baseline lacks every gated metric {GATE_METRICS!r}"
     return None
 
 
@@ -313,6 +358,11 @@ def main(
         if error is not None:
             print(f"FAIL: {error}", file=sys.stderr)
             return 1
-        gated = report["results"][GATE_METRIC]["rate"]
-        print(f"OK: {GATE_METRIC} at {gated:,.0f} events/s within tolerance")
+        for metric in GATE_METRICS:
+            result = report["results"].get(metric)
+            if result is not None:
+                print(
+                    f"OK: {metric} at {result['rate']:,.0f} {result['unit']} "
+                    "within tolerance"
+                )
     return 0

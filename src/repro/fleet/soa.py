@@ -1,0 +1,724 @@
+"""Vectorized fleet state: a numpy struct-of-arrays fast path.
+
+Every allocation decision in the engine used to walk per-object Python
+state: schedulers scanned ``dict``/``set`` views worker-by-worker, the
+master's straggler tick iterated all outstanding assignments, and the
+observability probes re-walked the fleet each sample.  That per-worker
+Python cost is what caps a cell at a few thousand workers (ROADMAP
+item 2).  This module mirrors the hot state into flat numpy arrays --
+struct-of-arrays, one plane per field -- so the scans become single
+vectorised C operations.
+
+Design rules (the bit-identity discipline of PR 3 applies throughout):
+
+* **Per-object state stays authoritative.**  The arrays are *mirrors*,
+  maintained incrementally off the existing mutation seams (worker
+  join/retire/fail, cache insert/evict, job enqueue/start/finish);
+  they are never rebuilt per event.  ``REPRO_FLEET_SOA=0`` disables the
+  mirrors entirely and every consumer falls back to its original
+  Python scan -- both paths must produce bit-identical metrics.
+* **float64 == Python float.**  numpy float64 arithmetic is IEEE-754
+  double, the same as Python's ``float``; mirroring ``load[w] += cost``
+  as ``values[i] += cost`` yields the identical bit pattern, so argmin
+  over the array selects the same worker as ``min`` over the dict.
+  What is *not* allowed is reassociating operations (e.g. settling one
+  subtraction as two): only element-wise ports of the original op
+  sequence preserve bit-identity.
+* **Tie-breaks are explicit.**  ``min(..., key=lambda w: (value, w))``
+  breaks ties by *name*; ``min(enumerate(...))`` breaks by *position*.
+  The helpers here implement both exactly: name ties resolve through a
+  precomputed lexicographic rank plane, position ties through
+  ``np.argmin``'s first-occurrence guarantee.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING, Callable, Optional
+
+import numpy as np
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.workload.job import Job
+
+#: Environment switch for the fast path.  Default on; ``0``/``false``/
+#: ``off``/``no`` fall back to the per-object Python scans everywhere.
+SOA_ENV = "REPRO_FLEET_SOA"
+
+
+def soa_enabled() -> bool:
+    """Whether the struct-of-arrays fast path is enabled (default yes)."""
+    return os.environ.get(SOA_ENV, "1").strip().lower() not in (
+        "0",
+        "false",
+        "off",
+        "no",
+    )
+
+
+# -- tie-break helpers -----------------------------------------------------
+
+
+def name_ranks(names: list[str]) -> np.ndarray:
+    """Lexicographic rank of each name (rank 0 = smallest name).
+
+    ``argmin`` over ``(value, rank)`` then equals
+    ``min(names, key=lambda n: (value[n], n))`` exactly.
+    """
+    ranks = np.empty(len(names), dtype=np.int64)
+    ranks[np.argsort(np.array(names, dtype=object), kind="stable")] = np.arange(
+        len(names)
+    )
+    return ranks
+
+
+def argmin_value_rank(
+    values: np.ndarray, ranks: np.ndarray, mask: Optional[np.ndarray] = None
+) -> int:
+    """Index of the smallest value, ties broken by smallest rank.
+
+    Exactly ``min(domain, key=lambda i: (values[i], names[i]))`` when
+    ``ranks`` is the lexicographic name rank.  ``mask`` restricts the
+    domain; returns -1 when the masked domain is empty.
+    """
+    if mask is not None:
+        idx = np.nonzero(mask)[0]
+        if idx.size == 0:
+            return -1
+        sub = values[idx]
+        ties = idx[sub == sub.min()]
+    else:
+        if values.size == 0:
+            raise ValueError("argmin over an empty domain")
+        ties = np.nonzero(values == values.min())[0]
+    if ties.size == 1:
+        return int(ties[0])
+    return int(ties[np.argmin(ranks[ties])])
+
+
+def argmax_value_rank(values: np.ndarray, ranks: np.ndarray) -> int:
+    """Index of the largest value, ties broken by smallest rank.
+
+    Exactly ``max(domain, key=lambda i: (values[i], names[i]))``: for
+    the *max* of tuples Python prefers the lexicographically largest
+    name among ties, so the rank tie-break flips to ``argmax``.
+    """
+    if values.size == 0:
+        raise ValueError("argmax over an empty domain")
+    ties = np.nonzero(values == values.max())[0]
+    if ties.size == 1:
+        return int(ties[0])
+    return int(ties[np.argmax(ranks[ties])])
+
+
+def _grow(array: np.ndarray, needed: int) -> np.ndarray:
+    """Return ``array`` with capacity >= needed (amortised doubling)."""
+    if array.shape[0] >= needed:
+        return array
+    cap = max(needed, array.shape[0] * 2, 8)
+    fresh = np.zeros((cap,) + array.shape[1:], dtype=array.dtype)
+    fresh[: array.shape[0]] = array
+    return fresh
+
+
+# -- dynamic worker x repo bit matrix --------------------------------------
+
+
+class BitMatrix:
+    """A growable (workers x repos) boolean membership matrix.
+
+    Rows are worker slots, columns are repo slots; both grow by
+    amortised doubling so per-event maintenance is O(1).  Used for the
+    live cache-membership plane of :class:`FleetState` and for the
+    completion-derived ``holdings`` views of the matchmaking/delay
+    policies (separate planes: the views deliberately diverge from the
+    live caches -- holdings never evict, plan-time views never update).
+    """
+
+    def __init__(self) -> None:
+        self.repo_cols: dict[str, int] = {}
+        self._bits = np.zeros((8, 8), dtype=bool)
+
+    @property
+    def n_repos(self) -> int:
+        return len(self.repo_cols)
+
+    def col(self, repo_id: str, create: bool = True) -> int:
+        """The column of ``repo_id`` (-1 if unknown and not creating)."""
+        column = self.repo_cols.get(repo_id)
+        if column is None:
+            if not create:
+                return -1
+            column = len(self.repo_cols)
+            self.repo_cols[repo_id] = column
+            if column >= self._bits.shape[1]:
+                fresh = np.zeros(
+                    (self._bits.shape[0], max(column + 1, self._bits.shape[1] * 2)),
+                    dtype=bool,
+                )
+                fresh[:, : self._bits.shape[1]] = self._bits
+                self._bits = fresh
+        return column
+
+    def _ensure_row(self, row: int) -> None:
+        if row >= self._bits.shape[0]:
+            fresh = np.zeros(
+                (max(row + 1, self._bits.shape[0] * 2), self._bits.shape[1]),
+                dtype=bool,
+            )
+            fresh[: self._bits.shape[0]] = self._bits
+            self._bits = fresh
+
+    def set(self, row: int, repo_id: str, value: bool) -> None:
+        # Resolve the column *before* indexing: creating it may
+        # reallocate ``_bits``, and Python binds the indexed object
+        # before evaluating the index expression.
+        column = self.col(repo_id, create=value)
+        self._ensure_row(row)
+        if value:
+            self._bits[row, column] = True
+        elif column >= 0:
+            self._bits[row, column] = False
+
+    def clear_row(self, row: int) -> None:
+        self._ensure_row(row)
+        self._bits[row, :] = False
+
+    def test(self, row: int, repo_id: str) -> bool:
+        column = self.col(repo_id, create=False)
+        if column < 0 or row >= self._bits.shape[0]:
+            return False
+        return bool(self._bits[row, column])
+
+    def column_mask(self, repo_id: str, n_rows: int) -> Optional[np.ndarray]:
+        """The holder mask of ``repo_id`` over the first ``n_rows`` rows,
+        or ``None`` when the repo has never been seen (nobody holds it)."""
+        column = self.col(repo_id, create=False)
+        if column < 0:
+            return None
+        self._ensure_row(max(n_rows - 1, 0))
+        return self._bits[:n_rows, column]
+
+    def row_contents(self, row: int) -> set[str]:
+        """The repos set on ``row`` (test/diagnostic helper)."""
+        if row >= self._bits.shape[0]:
+            return set()
+        bits = self._bits[row]
+        return {repo for repo, column in self.repo_cols.items() if bits[column]}
+
+
+# -- the shared fleet mirror -----------------------------------------------
+
+
+class _CacheObserver:
+    """Hooks a :class:`~repro.data.cache.WorkerCache` into the cache plane."""
+
+    __slots__ = ("fleet", "slot")
+
+    def __init__(self, fleet: "FleetState", slot: int) -> None:
+        self.fleet = fleet
+        self.slot = slot
+
+    def on_insert(self, repo_id: str) -> None:
+        self.fleet.cache.set(self.slot, repo_id, True)
+
+    def on_evict(self, repo_id: str) -> None:
+        self.fleet.cache.set(self.slot, repo_id, False)
+
+    def on_clear(self) -> None:
+        self.fleet.cache.clear_row(self.slot)
+
+
+class FleetState:
+    """The struct-of-arrays mirror of fleet-wide hot state.
+
+    One slot per worker *name*, append-only (a restarted worker reuses
+    its slot); planes are flat arrays indexed by slot:
+
+    ``alive``
+        node-side liveness (cleared by :meth:`WorkerNode.kill`).
+    ``active``
+        master-side membership of ``Master.active_workers`` (cleared on
+        retire/failure, restored on revive).
+    ``outstanding`` / ``queued``
+        the worker's accepted-unfinished count and FIFO depth, reported
+        absolutely at every enqueue/start/finish seam so the mirror can
+        never drift from the node's own counters.
+    ``link_busy``
+        whether any transfer holds or waits on the worker's link.
+    ``cache``
+        the live (workers x repos) cache-membership :class:`BitMatrix`,
+        maintained by cache observers at insert/evict/preload/clear.
+    """
+
+    def __init__(self) -> None:
+        self.names: list[str] = []
+        self.slots: dict[str, int] = {}
+        self.alive = np.zeros(0, dtype=bool)
+        self.active = np.zeros(0, dtype=bool)
+        self.outstanding = np.zeros(0, dtype=np.int64)
+        self.queued = np.zeros(0, dtype=np.int64)
+        self.link_busy = np.zeros(0, dtype=bool)
+        self.cache = BitMatrix()
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    # -- membership seams -------------------------------------------------
+
+    def ensure_worker(self, name: str) -> int:
+        """The slot of ``name``, creating it (inactive, dead) if new."""
+        slot = self.slots.get(name)
+        if slot is None:
+            slot = len(self.names)
+            self.names.append(name)
+            self.slots[name] = slot
+            needed = slot + 1
+            self.alive = _grow(self.alive, needed)
+            self.active = _grow(self.active, needed)
+            self.outstanding = _grow(self.outstanding, needed)
+            self.queued = _grow(self.queued, needed)
+            self.link_busy = _grow(self.link_busy, needed)
+        return slot
+
+    def slot_of(self, name: str) -> int:
+        return self.slots[name]
+
+    def on_join(self, name: str) -> int:
+        """Master seam: ``add_worker`` / ``revive_worker``."""
+        slot = self.ensure_worker(name)
+        self.active[slot] = True
+        return slot
+
+    def on_retire(self, name: str) -> None:
+        """Master seam: ``retire_worker`` (drain; node stays alive)."""
+        self.active[self.slot_of(name)] = False
+
+    def on_fail(self, name: str) -> None:
+        """Master seam: ``_on_worker_failure``."""
+        slot = self.slots.get(name)
+        if slot is not None:
+            self.active[slot] = False
+
+    # -- node seams -------------------------------------------------------
+
+    def attach_node(self, node) -> int:
+        """Wire a (possibly restarted) worker node into the mirror.
+
+        Resets the slot's node-side planes from the node's actual state
+        -- counts, liveness, cache contents (warm restarts preload
+        before this attach), link occupancy -- and installs the cache
+        and link observers so subsequent mutations stream in.
+        """
+        slot = self.ensure_worker(node.name)
+        node.fleet = self
+        node.fleet_slot = slot
+        self.alive[slot] = node.alive
+        self.outstanding[slot] = node._outstanding_jobs
+        self.queued[slot] = len(node.queue)
+        self.cache.clear_row(slot)
+        for repo_id in node.cache.contents():
+            self.cache.set(slot, repo_id, True)
+        node.cache.observer = _CacheObserver(self, slot)
+        link = node.machine.link
+        self.link_busy[slot] = link.busy
+        link.observer = self._link_observer(slot)
+        return slot
+
+    def _link_observer(self, slot: int) -> Callable[[bool], None]:
+        def observe(busy: bool, _slot: int = slot) -> None:
+            self.link_busy[_slot] = busy
+
+        return observe
+
+    def report(self, slot: int, outstanding: int, queued: int) -> None:
+        """Node seam: absolute counts at enqueue/start/finish/kill."""
+        self.outstanding[slot] = outstanding
+        self.queued[slot] = queued
+
+    def set_alive(self, slot: int, flag: bool) -> None:
+        self.alive[slot] = flag
+
+    # -- vectorised queries -----------------------------------------------
+
+    def busy_count(self) -> int:
+        """Workers alive with accepted-unfinished work (``fleet.busy``)."""
+        n = len(self.names)
+        return int(np.count_nonzero(self.alive[:n] & (self.outstanding[:n] > 0)))
+
+    def active_busy_count(self) -> int:
+        """Active workers with accepted-unfinished work (autoscaler gauge)."""
+        n = len(self.names)
+        return int(np.count_nonzero(self.active[:n] & (self.outstanding[:n] > 0)))
+
+    def link_busy_count(self) -> int:
+        """Workers alive with an occupied link (``links.busy``)."""
+        n = len(self.names)
+        return int(np.count_nonzero(self.alive[:n] & self.link_busy[:n]))
+
+    def queued_values(self, slots: np.ndarray) -> np.ndarray:
+        """Queue depths of ``slots`` -- one gather for the probe group."""
+        return self.queued[slots]
+
+    def busy_values(self, slots: np.ndarray) -> np.ndarray:
+        """0/1 busy flags of ``slots`` -- one gather for the probe group."""
+        return (self.alive[slots] & (self.outstanding[slots] > 0)).astype(np.int64)
+
+
+# -- dynamic load/count tables for the planner policies --------------------
+
+
+class LoadTable:
+    """A mirror of a ``{worker: value}`` table with vectorised argmin.
+
+    Backs the planner policies' per-worker accumulators (BAR's float
+    load estimates, Spark's integer planned counts).  The policy's dict
+    stays authoritative; every dict mutation is mirrored here through
+    the same scalar operation, so the float64 cells hold bit-identical
+    values and ``argmin_name``/``argmax_name`` select exactly the worker
+    the original ``min``/``max`` over the dict selected.
+    """
+
+    def __init__(self, dtype=np.float64) -> None:
+        self.names: list[str] = []
+        self.index: dict[str, int] = {}
+        self.values = np.zeros(0, dtype=dtype)
+        self._ranks = np.zeros(0, dtype=np.int64)
+        self._ranks_stale = False
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.index
+
+    def reset(self, table: dict[str, float]) -> None:
+        """Rebuild the mirror from an authoritative dict (plan start)."""
+        self.names = list(table)
+        self.index = {name: i for i, name in enumerate(self.names)}
+        self.values = np.fromiter(
+            table.values(), dtype=self.values.dtype, count=len(self.names)
+        )
+        self._ranks_stale = True
+
+    def ensure(self, name: str, value) -> None:
+        """Add ``name`` (no-op if present, mirroring ``dict.setdefault``)."""
+        if name in self.index:
+            return
+        self.index[name] = len(self.names)
+        self.names.append(name)
+        if len(self.names) > self.values.shape[0]:
+            self.values = _grow(self.values, len(self.names))
+        self.values[len(self.names) - 1] = value
+        self._ranks_stale = True
+
+    def pop(self, name: str) -> None:
+        """Remove ``name`` (swap-remove; rank tie-breaks are recomputed)."""
+        i = self.index.pop(name, None)
+        if i is None:
+            return
+        last = len(self.names) - 1
+        if i != last:
+            self.names[i] = self.names[last]
+            self.values[i] = self.values[last]
+            self.index[self.names[i]] = i
+        self.names.pop()
+        self._ranks_stale = True
+
+    def add(self, name: str, delta) -> None:
+        # In-place += on a float64 cell is the identical IEEE-754
+        # operation the dict's Python-float += performs.
+        self.values[self.index[name]] += delta
+
+    def set(self, name: str, value) -> None:
+        self.values[self.index[name]] = value
+
+    def get(self, name: str):
+        return self.values[self.index[name]]
+
+    def _live(self) -> np.ndarray:
+        return self.values[: len(self.names)]
+
+    def _rank_plane(self) -> np.ndarray:
+        if self._ranks_stale:
+            self._ranks = name_ranks(self.names)
+            self._ranks_stale = False
+        return self._ranks
+
+    def max_value(self):
+        return self._live().max()
+
+    def argmin_name(self, mask: Optional[np.ndarray] = None) -> Optional[str]:
+        """``min(table, key=lambda n: (table[n], n))`` -- or None when the
+        masked domain is empty."""
+        i = argmin_value_rank(self._live(), self._rank_plane(), mask)
+        return None if i < 0 else self.names[i]
+
+    def argmax_name(self) -> str:
+        """``max(table, key=lambda n: (table[n], n))``."""
+        return self.names[argmax_value_rank(self._live(), self._rank_plane())]
+
+
+class HolderMatrix:
+    """A frozen plan-time (workers x repos) locality snapshot.
+
+    Built once per planning pass from a policy's ``cache_view`` --
+    deliberately *not* from the live cache plane: upfront planners (BAR,
+    Spark) price locality against what was cached when the run started
+    and never react to clones made during execution.  Column -1 (repo
+    ``None``) is local everywhere, mirroring ``_is_local``.
+    """
+
+    def __init__(self, names: list[str], view: dict[str, set[str]]) -> None:
+        self.index = {name: i for i, name in enumerate(names)}
+        self.repo_cols: dict[str, int] = {}
+        for name in names:
+            for repo in view.get(name, ()):
+                self.repo_cols.setdefault(repo, len(self.repo_cols))
+        self.bits = np.zeros((len(names), len(self.repo_cols)), dtype=bool)
+        for name in names:
+            row = self.index[name]
+            for repo in view.get(name, ()):
+                self.bits[row, self.repo_cols[repo]] = True
+        self._all_local = np.ones(len(names), dtype=bool)
+        self._none_local = np.zeros(len(names), dtype=bool)
+
+    def job_col(self, repo_id: Optional[str]) -> int:
+        """The matrix column for a job's repo: -1 = no data (local
+        everywhere), -2 = unknown repo (local nowhere)."""
+        if repo_id is None:
+            return -1
+        return self.repo_cols.get(repo_id, -2)
+
+    def holders(self, col: int) -> np.ndarray:
+        """The locality mask for a :meth:`job_col` column."""
+        if col == -1:
+            return self._all_local
+        if col == -2:
+            return self._none_local
+        return self.bits[:, col]
+
+    def job_cols(self, jobs: list["Job"]) -> np.ndarray:
+        return np.fromiter(
+            (self.job_col(job.repo_id) for job in jobs),
+            dtype=np.int64,
+            count=len(jobs),
+        )
+
+    def local_for_row(self, row: int, cols: np.ndarray) -> np.ndarray:
+        """Locality of many jobs (as :meth:`job_col` columns) on *one*
+        worker row -- the phase-2 candidate gather of the BAR planner."""
+        local = cols == -1
+        known = cols >= 0
+        local[known] = self.bits[row, cols[known]]
+        return local
+
+
+# -- the master's straggler table ------------------------------------------
+
+
+class JobAgeTable:
+    """Append-only (job, worker, assigned-at) table for the straggler scan.
+
+    Mirrors the master's ``_assigned_at`` dict with the same ordering
+    semantics -- new ids append, updates of a live id stay in place,
+    removals free the slot -- so the vectorised overdue scan yields
+    (job, worker) pairs in exactly the dict's iteration order (the
+    order recovery timers are armed in, which the determinism contract
+    pins).  Dead slots are compacted once they outnumber live ones.
+    """
+
+    def __init__(self) -> None:
+        self._jobs: list = []
+        self._workers: list[str] = []
+        self._at = np.zeros(0, dtype=np.float64)
+        self._live = np.zeros(0, dtype=bool)
+        self._slot: dict[str, int] = {}
+        self._dead = 0
+
+    def __len__(self) -> int:
+        return len(self._slot)
+
+    def add(self, job_id: str, job, worker: str, at: float) -> None:
+        slot = self._slot.get(job_id)
+        if slot is not None:
+            # Update-in-place keeps the dict's key-position semantics.
+            self._jobs[slot] = job
+            self._workers[slot] = worker
+            self._at[slot] = at
+            return
+        slot = len(self._jobs)
+        self._jobs.append(job)
+        self._workers.append(worker)
+        needed = slot + 1
+        self._at = _grow(self._at, needed)
+        self._live = _grow(self._live, needed)
+        self._at[slot] = at
+        self._live[slot] = True
+        self._slot[job_id] = slot
+
+    def remove(self, job_id: str) -> None:
+        slot = self._slot.pop(job_id, None)
+        if slot is None:
+            return
+        self._live[slot] = False
+        self._jobs[slot] = None
+        self._dead += 1
+        if self._dead > 64 and self._dead > len(self._slot):
+            self._compact()
+
+    def _compact(self) -> None:
+        keep = [i for i in range(len(self._jobs)) if self._live[i]]
+        self._jobs = [self._jobs[i] for i in keep]
+        self._workers = [self._workers[i] for i in keep]
+        at = np.zeros(max(len(keep), 8), dtype=np.float64)
+        at[: len(keep)] = self._at[keep]
+        self._at = at
+        self._live = np.zeros(max(len(keep), 8), dtype=bool)
+        self._live[: len(keep)] = True
+        job_ids = {slot: job_id for job_id, slot in self._slot.items()}
+        self._slot = {job_ids[old]: new for new, old in enumerate(keep)}
+        self._dead = 0
+
+    def overdue(self, now: float, timeout: float) -> list[tuple[object, str]]:
+        """Assignments with ``now - at >= timeout``, in insertion order."""
+        n = len(self._jobs)
+        if n == 0:
+            return []
+        hits = np.nonzero(self._live[:n] & (now - self._at[:n] >= timeout))[0]
+        return [(self._jobs[i], self._workers[i]) for i in hits]
+
+
+# -- holdings-aware job queues (matchmaking / delay) -----------------------
+
+
+class HoldingsIndex:
+    """Vectorised mirror of a policy's ``{worker: {repo}}`` holdings view.
+
+    The completions-derived block map of the matchmaking/delay masters:
+    insert-only per worker (a worker's row is wiped only when the node
+    dies).  This is intentionally a *separate* plane from the live cache
+    matrix -- the policies' knowledge lags reality (no evictions, no
+    prefetches), and the mirror must reproduce their view, not fix it.
+    """
+
+    def __init__(self) -> None:
+        self.matrix = BitMatrix()
+        self.rows: dict[str, int] = {}
+
+    def _row(self, worker: str) -> int:
+        row = self.rows.get(worker)
+        if row is None:
+            row = len(self.rows)
+            self.rows[worker] = row
+        return row
+
+    def add(self, worker: str, repo_id: str) -> None:
+        self.matrix.set(self._row(worker), repo_id, True)
+
+    def drop_worker(self, worker: str) -> None:
+        row = self.rows.get(worker)
+        if row is not None:
+            self.matrix.clear_row(row)
+
+    def col(self, repo_id: str) -> int:
+        return self.matrix.col(repo_id, create=True)
+
+    def local_mask(self, worker: str, cols: np.ndarray) -> np.ndarray:
+        """Locality of each queued job for ``worker``: repo-less jobs
+        (col -1) are local everywhere, the rest by row membership."""
+        local = cols < 0
+        row = self.rows.get(worker)
+        if row is None:
+            return local
+        bits = self.matrix._bits
+        if row >= bits.shape[0]:
+            return local
+        has_repo = ~local
+        out = local.copy()
+        out[has_repo] = bits[row, cols[has_repo]]
+        return out
+
+
+class LocalityQueue:
+    """A FIFO of jobs with a parallel repo-column array.
+
+    Drop-in for the ``deque`` the matchmaking/delay masters keep: same
+    append/appendleft/popleft/delete-at-index operations, plus a
+    vectorised first-local scan against a :class:`HoldingsIndex` (one
+    boolean gather instead of a per-job ``set`` probe).  With no index
+    (SoA off) the callers keep their original Python scans.
+    """
+
+    def __init__(self, index: Optional[HoldingsIndex] = None) -> None:
+        self.index = index
+        self._jobs: list = []
+        self._cols = np.zeros(0, dtype=np.int64)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def __bool__(self) -> bool:
+        return bool(self._jobs)
+
+    def __iter__(self):
+        return iter(self._jobs)
+
+    def __getitem__(self, i: int):
+        return self._jobs[i]
+
+    def _col_of(self, job) -> int:
+        if self.index is None or job.repo_id is None:
+            return -1
+        return self.index.col(job.repo_id)
+
+    def append(self, job) -> None:
+        n = len(self._jobs)
+        self._jobs.append(job)
+        self._cols = _grow(self._cols, n + 1)
+        self._cols[n] = self._col_of(job)
+
+    def appendleft(self, job) -> None:
+        n = len(self._jobs)
+        self._jobs.insert(0, job)
+        self._cols = _grow(self._cols, n + 1)
+        self._cols[1 : n + 1] = self._cols[:n]
+        self._cols[0] = self._col_of(job)
+
+    def popleft(self):
+        return self.delete(0)
+
+    def delete(self, i: int):
+        job = self._jobs.pop(i)
+        n = len(self._jobs)
+        self._cols[i:n] = self._cols[i + 1 : n + 1]
+        return job
+
+    def local_mask(self, worker: str) -> Optional[np.ndarray]:
+        """Per-queued-job locality for ``worker`` (None when no index)."""
+        if self.index is None:
+            return None
+        return self.index.local_mask(worker, self._cols[: len(self._jobs)])
+
+    def first_local(self, worker: str) -> int:
+        """Index of the first job local to ``worker``, or -1."""
+        mask = self.local_mask(worker)
+        if mask is None or not mask.any():
+            return -1
+        return int(mask.argmax())
+
+
+__all__ = [
+    "SOA_ENV",
+    "soa_enabled",
+    "name_ranks",
+    "argmin_value_rank",
+    "argmax_value_rank",
+    "BitMatrix",
+    "FleetState",
+    "LoadTable",
+    "HolderMatrix",
+    "JobAgeTable",
+    "HoldingsIndex",
+    "LocalityQueue",
+]

@@ -60,11 +60,14 @@ class FairSharePipe:
         self.sim = sim
         self.capacity_mbps = float(capacity_mbps)
         self._active: list[_Transfer] = []
-        #: Residual MB of each in-flight transfer, parallel to ``_active``.
-        #: float64 arithmetic is bit-identical to Python-float arithmetic
-        #: (both IEEE 754 double), so vectorising the drain preserves the
+        #: Residual MB of each in-flight transfer: the first
+        #: ``len(_active)`` slots of a preallocated buffer (amortised
+        #: doubling, compacted in place on completion -- no per-event
+        #: ``np.append``/``np.delete`` reallocations).  float64
+        #: arithmetic is bit-identical to Python-float arithmetic (both
+        #: IEEE 754 double), so vectorising the drain preserves the
         #: fixed-seed determinism contract exactly.
-        self._rem: np.ndarray = np.empty(0, dtype=np.float64)
+        self._rem: np.ndarray = np.zeros(8, dtype=np.float64)
         self._last_settle = sim.now
         #: One re-armed completion timer for the whole pipe.  Every
         #: transfer start/finish re-settles the fluid model and re-arms
@@ -107,7 +110,12 @@ class FairSharePipe:
         # transfer is excluded from the elapsed interval.
         self._settle()
         self._active.append(_Transfer(size_mb, done, self.sim.now))
-        self._rem = np.append(self._rem, size_mb)
+        count = len(self._active)
+        if count > self._rem.shape[0]:
+            fresh = np.zeros(max(count, self._rem.shape[0] * 2), dtype=np.float64)
+            fresh[: count - 1] = self._rem[: count - 1]
+            self._rem = fresh
+        self._rem[count - 1] = size_mb
         if self.obs is not None:
             self.obs.on_pipe_sample(self.obs_label, len(self._active), self.sim.now)
         self._reschedule()
@@ -129,7 +137,7 @@ class FairSharePipe:
         if elapsed <= 0 or not self._active:
             return
         rate = self.capacity_mbps / len(self._active)
-        rem = self._rem
+        rem = self._rem[: len(self._active)]
         rem -= rate * elapsed
         # Guard against float drift: clamp negatives to zero.
         np.maximum(rem, 0.0, out=rem)
@@ -145,7 +153,7 @@ class FairSharePipe:
         active = self._active
         now = self.sim.now
         while True:
-            rem = self._rem
+            rem = self._rem[: len(active)]
             finished_idx = np.nonzero(rem <= 1e-12)[0]
             if len(finished_idx):
                 monitor = self.monitor
@@ -161,7 +169,14 @@ class FairSharePipe:
                 # indices aligned with the compacted residual array.
                 for i in finished_idx[::-1]:
                     del active[i]
-                self._rem = rem = np.delete(rem, finished_idx)
+                # Compact survivors to the front of the buffer in place
+                # (the fancy index copies before the assignment reads,
+                # so the overlapping write is safe) -- same survivor
+                # order np.delete produced, without the reallocation.
+                keep = np.ones(rem.shape[0], dtype=bool)
+                keep[finished_idx] = False
+                self._rem[: len(active)] = rem[keep]
+                rem = self._rem[: len(active)]
                 if self.obs is not None:
                     self.obs.on_pipe_sample(self.obs_label, len(active), now)
             if not active:

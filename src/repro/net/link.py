@@ -71,6 +71,13 @@ class Link:
         self.rng = rng if rng is not None else np.random.default_rng(0)
         self.upstream = upstream
         self._mutex = PriorityResource(sim, capacity=1)
+        #: Transfer processes currently inside :meth:`transfer` (holding
+        #: or waiting on the mutex); drives the occupancy observer.
+        self._occupants = 0
+        #: Optional ``observer(busy: bool)`` called on 0<->1 occupancy
+        #: transitions -- the seam the struct-of-arrays ``link_busy``
+        #: plane (:mod:`repro.fleet`) hangs off.
+        self.observer = None
         #: Total megabytes moved through this link (for metric cross-checks).
         self.total_mb = 0.0
         #: Total transfers performed.
@@ -107,8 +114,20 @@ class Link:
         if size_mb < 0:
             raise ValueError(f"size must be non-negative, got {size_mb}")
         start = self.sim.now
-        grant = self._mutex.request(priority)
-        yield grant
+        self._occupants += 1
+        if self._occupants == 1 and self.observer is not None:
+            self.observer(True)
+        try:
+            grant = self._mutex.request(priority)
+            yield grant
+            return (yield from self._transfer_locked(size_mb, start, grant))
+        finally:
+            self._occupants -= 1
+            if self._occupants == 0 and self.observer is not None:
+                self.observer(False)
+
+    def _transfer_locked(self, size_mb: float, start: float, grant) -> Generator:
+        """The body of :meth:`transfer` once the mutex wait is over."""
         try:
             yield self.sim.sleep(self.latency)
             factor = self.noise.factor(self.rng, self.sim.now)

@@ -28,6 +28,10 @@ class Probe:
     unit: str
     fn: Callable[[], float]
     samples: deque = field(default_factory=deque)
+    #: True when the probe is fed by a vector group's shared gather
+    #: (see :meth:`ProbeRegistry.register_vector`); its ``fn`` is then a
+    #: positional fallback only used if the group is torn down.
+    grouped: bool = False
 
     def values(self) -> list[float]:
         return [value for _, value in self.samples]
@@ -48,6 +52,9 @@ class ProbeRegistry:
         self.interval_s = interval_s
         self.retention = retention
         self.probes: dict[str, Probe] = {}
+        #: Vector groups: (member probes, gather fn) pairs sampled with
+        #: one call producing all member values (see :meth:`register_vector`).
+        self._groups: list[tuple[list[Probe], Callable[[], object]]] = []
         self._timer = None
         self._stopped = False
 
@@ -61,6 +68,35 @@ class ProbeRegistry:
         probe = Probe(name, unit, fn, deque(maxlen=self.retention))
         self.probes[name] = probe
         return probe
+
+    def register_vector(
+        self, names: list[str], fn: Callable[[], object], unit: str = ""
+    ) -> list[Probe]:
+        """Add a *group* of gauges fed by one shared gather.
+
+        ``fn`` returns a sequence of values, one per name in order; each
+        sample tick calls it once and fans the result out to the member
+        probes.  The members live in :attr:`probes` like any other probe
+        (exporters see them unchanged) but are skipped by the scalar
+        sampling loop.  This is the struct-of-arrays fast path for
+        per-worker gauges: one vectorised array read replaces a
+        per-worker Python walk.
+        """
+        members: list[Probe] = []
+        for i, name in enumerate(names):
+            probe = self.probes.get(name)
+            if probe is None:
+                probe = Probe(
+                    name,
+                    unit,
+                    lambda fn=fn, i=i: float(fn()[i]),
+                    deque(maxlen=self.retention),
+                )
+                self.probes[name] = probe
+            probe.grouped = True
+            members.append(probe)
+        self._groups.append((members, fn))
+        return members
 
     def unregister(self, name: str) -> None:
         self.probes.pop(name, None)
@@ -79,19 +115,24 @@ class ProbeRegistry:
         """Stop future sampling (pending timer fires become no-ops)."""
         self._stopped = True
 
+    def _sample(self, now: float) -> None:
+        for probe in self.probes.values():
+            if not probe.grouped:
+                probe.samples.append((now, float(probe.fn())))
+        for members, fn in self._groups:
+            values = fn()
+            for probe, value in zip(members, values):
+                probe.samples.append((now, float(value)))
+
     def _tick(self) -> None:
         if self._stopped:
             return
-        now = self.sim.now
-        for probe in self.probes.values():
-            probe.samples.append((now, float(probe.fn())))
+        self._sample(self.sim.now)
         self.sim.call_later(self.interval_s, self._tick, handle=self._timer)
 
     def sample_once(self) -> None:
         """Take one immediate sample outside the cadence (e.g. at run end)."""
-        now = self.sim.now
-        for probe in self.probes.values():
-            probe.samples.append((now, float(probe.fn())))
+        self._sample(self.sim.now)
 
     def names(self) -> list[str]:
         return sorted(self.probes)

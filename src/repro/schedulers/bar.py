@@ -32,6 +32,15 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
+from repro.fleet import (
+    HolderMatrix,
+    LoadTable,
+    argmax_value_rank,
+    argmin_value_rank,
+    name_ranks,
+)
 from repro.schedulers.base import (
     MasterPolicy,
     PassiveWorkerPolicy,
@@ -58,6 +67,10 @@ class BARMasterPolicy(MasterPolicy):
         self.speed_view: dict[str, tuple[float, float, float, float]] = {}
         self._plan: dict[str, str] = {}
         self._load: dict[str, float] = {}
+        #: Struct-of-arrays mirror of ``_load`` (None when the fast path
+        #: is off); the dict stays authoritative, every mutation is
+        #: mirrored through the identical scalar operation.
+        self._soa: Optional[LoadTable] = None
         #: Phase-2 moves actually performed (diagnostics/tests).
         self.adjustments = 0
 
@@ -75,7 +88,12 @@ class BARMasterPolicy(MasterPolicy):
     def _is_local(self, job: Job, worker: str) -> bool:
         return job.repo_id is None or job.repo_id in self.cache_view.get(worker, ())
 
+    def _soa_on(self) -> bool:
+        return getattr(getattr(self, "master", None), "fleet", None) is not None
+
     def _earliest(self) -> str:
+        if self._soa is not None:
+            return self._soa.argmin_name()
         return min(self._load, key=lambda name: (self._load[name], name))
 
     # -- planning ----------------------------------------------------------------
@@ -83,6 +101,10 @@ class BARMasterPolicy(MasterPolicy):
     def on_upfront_jobs(self, jobs: list[Job]) -> None:
         workers = list(self.master.worker_names)
         self._ensure_views(workers)
+        if self._soa_on() and workers:
+            self._plan_vectorized(jobs, workers)
+            return
+        self._soa = None
         self._load = {name: 0.0 for name in workers}
         placements: dict[str, str] = {}
 
@@ -130,6 +152,85 @@ class BARMasterPolicy(MasterPolicy):
         self.adjustments = moves
         self._plan = placements
 
+    def _plan_vectorized(self, jobs: list[Job], workers: list[str]) -> None:
+        """The struct-of-arrays port of the scalar planner above.
+
+        Bit-identical by construction: the load cells see the same
+        scalar ``+=``/``-=`` sequence, phase-1 picks use the (load,
+        name) rank argmin, phase-2 prices all candidates of one move
+        with element-wise vector ops in the scalar path's operation
+        order, and the accept scan stays a sequential Python loop so
+        the first-improvement-within-epsilon semantics survive.
+        """
+        count = len(workers)
+        ranks = name_ranks(workers)
+        loads = np.zeros(count, dtype=np.float64)
+        speeds = np.array([self.speed_view[name] for name in workers])
+        network, rw, cpu, latency = speeds.T
+        matrix = HolderMatrix(workers, self.cache_view)
+        cols = matrix.job_cols(jobs)
+        sizes = np.fromiter((job.size_mb for job in jobs), np.float64, len(jobs))
+        computes = np.fromiter(
+            (job.base_compute_s for job in jobs), np.float64, len(jobs)
+        )
+        placements: dict[str, str] = {}
+        placed = np.empty(len(jobs), dtype=np.intp)
+
+        # Phase 1: entirely-local assignment where possible.
+        for index, job in enumerate(jobs):
+            local = matrix.holders(cols[index])
+            slot = argmin_value_rank(loads, ranks, local)
+            if slot < 0:
+                slot = argmin_value_rank(loads, ranks)
+            worker = workers[slot]
+            placements[job.job_id] = worker
+            loads[slot] += self._cost(job, worker, bool(local[slot]))
+            placed[index] = slot
+
+        # Phase 2: trade locality for balance while the makespan improves.
+        moves = 0
+        budget = (
+            self.max_adjustments if self.max_adjustments is not None else len(jobs) * 4
+        )
+        while moves < budget:
+            slow = argmax_value_rank(loads, ranks)
+            fast = argmin_value_rank(loads, ranks)
+            if slow == fast:
+                break
+            # np.nonzero yields candidates in ascending job order --
+            # the insertion order of the scalar path's placements dict.
+            candidates = np.nonzero(placed == slow)[0]
+            best_at = -1
+            best_makespan = loads[slow]
+            if candidates.size:
+                csize = sizes[candidates]
+                ccompute = computes[candidates]
+                ccols = cols[candidates]
+                out_cost = ccompute / cpu[slow] + csize / rw[slow]
+                remote = ~matrix.local_for_row(slow, ccols) & (csize > 0)
+                out_cost[remote] += latency[slow] + csize[remote] / network[slow]
+                in_cost = ccompute / cpu[fast] + csize / rw[fast]
+                remote = ~matrix.local_for_row(fast, ccols) & (csize > 0)
+                in_cost[remote] += latency[fast] + csize[remote] / network[fast]
+                makespans = np.maximum(loads[slow] - out_cost, loads[fast] + in_cost)
+                for at in range(candidates.size):
+                    if makespans[at] < best_makespan - 1e-12:
+                        best_makespan = makespans[at]
+                        best_at = at
+            if best_at < 0:
+                break
+            chosen = int(candidates[best_at])
+            placed[chosen] = fast
+            placements[jobs[chosen].job_id] = workers[fast]
+            loads[slow] -= out_cost[best_at]
+            loads[fast] += in_cost[best_at]
+            moves += 1
+        self.adjustments = moves
+        self._plan = placements
+        self._load = {workers[i]: float(loads[i]) for i in range(count)}
+        self._soa = LoadTable()
+        self._soa.reset(self._load)
+
     def _ensure_views(self, workers: list[str]) -> None:
         missing = [name for name in workers if name not in self.speed_view]
         if missing:
@@ -144,6 +245,8 @@ class BARMasterPolicy(MasterPolicy):
         entries; orphans re-dispatched by the master then fall through
         to the earliest-completion rule over the survivors."""
         self._load.pop(worker, None)
+        if self._soa is not None:
+            self._soa.pop(worker)
         for job_id, name in list(self._plan.items()):
             if name == worker:
                 del self._plan[job_id]
@@ -153,7 +256,12 @@ class BARMasterPolicy(MasterPolicy):
         (BAR planned the run without it; only re-dispatched and late
         jobs should flow its way)."""
         if self._load and worker not in self._load:
-            self._load[worker] = max(self._load.values())
+            if self._soa is not None:
+                ceiling = float(self._soa.max_value())
+                self._load[worker] = ceiling
+                self._soa.ensure(worker, ceiling)
+            else:
+                self._load[worker] = max(self._load.values())
 
     # -- arrival-time dispatch -------------------------------------------------------
 
@@ -163,8 +271,14 @@ class BARMasterPolicy(MasterPolicy):
             if not self._load:
                 self._load = {name: 0.0 for name in self.master.active_workers}
                 self._ensure_views(list(self._load))
+                if self._soa_on():
+                    self._soa = LoadTable()
+                    self._soa.reset(self._load)
             worker = self._earliest()
-            self._load[worker] += self._cost(job, worker, self._is_local(job, worker))
+            cost = self._cost(job, worker, self._is_local(job, worker))
+            self._load[worker] += cost
+            if self._soa is not None:
+                self._soa.add(worker, cost)
         self.master.assign(job, worker)
 
 

@@ -52,6 +52,12 @@ class MasterPolicy:
     def start(self) -> None:
         """Spawn any long-running policy processes; default none."""
 
+    def on_fleet_attached(self) -> None:
+        """The runtime wired the struct-of-arrays fleet mirror onto the
+        master (``master.fleet``; see :mod:`repro.fleet`).  Called after
+        :meth:`bind`, before the run starts.  Policies that keep their
+        own vectorised mirrors swap them in here; default: nothing."""
+
     def on_upfront_jobs(self, jobs: list[Job]) -> None:
         """Receive the full job list before the run (only if
         ``requires_upfront``); default ignores it."""

@@ -70,6 +70,9 @@ class BaselineMasterPolicy(MasterPolicy):
         self.job_queue: deque[Job] = deque()
         #: Workers whose pulls arrived while the queue was empty.
         self.parked_pulls: deque[str] = deque()
+        #: Mirror of ``parked_pulls`` membership -- the dedup test used
+        #: to scan the deque per pull, O(parked) per message.
+        self._parked_set: set[str] = set()
         #: job_id -> number of times offered (diagnostics).
         self.offer_counts: dict[str, int] = {}
         #: job_id -> (worker, job) for offers awaiting accept/reject.
@@ -87,8 +90,9 @@ class BaselineMasterPolicy(MasterPolicy):
         if isinstance(message, PullRequest):
             # One parked entry per worker: a retried pull (the loss
             # -timeout path) must not claim a second offer.
-            if message.worker not in self.parked_pulls:
+            if message.worker not in self._parked_set:
                 self.parked_pulls.append(message.worker)
+                self._parked_set.add(message.worker)
             self._match()
             return True
         if isinstance(message, JobReject):
@@ -119,6 +123,7 @@ class BaselineMasterPolicy(MasterPolicy):
         self.parked_pulls = deque(
             name for name in self.parked_pulls if name != worker
         )
+        self._parked_set.discard(worker)
         # An offer that died with its offeree goes back to the front of
         # the queue (JMS redelivery of the unacked message).  A late
         # JobAccept cannot race this requeue: worker->master delivery is
@@ -141,11 +146,13 @@ class BaselineMasterPolicy(MasterPolicy):
         self.parked_pulls = deque(
             name for name in self.parked_pulls if name != worker
         )
+        self._parked_set.discard(worker)
 
     def _match(self) -> None:
         """Answer parked pulls while jobs are available."""
         while self.job_queue and self.parked_pulls:
             worker = self.parked_pulls.popleft()
+            self._parked_set.discard(worker)
             job = self.job_queue.popleft()
             prior = self.offer_counts.get(job.job_id, 0)
             self.offer_counts[job.job_id] = prior + 1

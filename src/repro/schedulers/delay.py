@@ -20,6 +20,7 @@ from collections import deque
 from typing import Optional
 
 from repro.engine.messages import JobAccept, JobOffer, NoWork, PullRequest
+from repro.fleet import HoldingsIndex, LocalityQueue
 from repro.schedulers.base import MasterPolicy, SchedulerPolicy, WorkerPolicy
 from repro.sim.events import AnyOf
 from repro.sim.resources import Store
@@ -39,15 +40,30 @@ class DelayMasterPolicy(MasterPolicy):
         if max_skips < 0:
             raise ValueError("max_skips must be non-negative")
         self.max_skips = max_skips
-        self.job_queue: deque[Job] = deque()
+        self.job_queue = deque()
         self.skips: dict[str, int] = {}
         self.holdings: dict[str, set[str]] = {}
+        #: Struct-of-arrays mirror of ``holdings`` (None when the fast
+        #: path is off); drives the vectorised queue locality mask.
+        self._hx: Optional[HoldingsIndex] = None
         self.parked: deque[str] = deque()
+        #: Mirror of ``parked`` membership for the O(1) dedup test.
+        self._parked_set: set[str] = set()
         #: job_id -> (worker, job) for offers awaiting their JobAccept.
         #: An offered job lives in neither the queue nor the master's
         #: assignment table, so a crash of the offeree would otherwise
         #: lose it (requeued in :meth:`on_worker_failed`).
         self.in_flight: dict[str, tuple[str, Job]] = {}
+
+    def on_fleet_attached(self) -> None:
+        """Runtime wired the fleet mirror: swap in the vectorised queue
+        (before any job arrives); the holdings dict stays authoritative,
+        the index mirrors it."""
+        self._hx = HoldingsIndex()
+        queue = LocalityQueue(self._hx)
+        for job in self.job_queue:
+            queue.append(job)
+        self.job_queue = queue
 
     def on_job(self, job: Job) -> None:
         self.job_queue.append(job)
@@ -57,6 +73,8 @@ class DelayMasterPolicy(MasterPolicy):
     def on_job_completed(self, job: Job, worker: str) -> None:
         if job.repo_id is not None and worker is not None:
             self.holdings.setdefault(worker, set()).add(job.repo_id)
+            if self._hx is not None:
+                self._hx.add(worker, job.repo_id)
 
     def on_message(self, message: object) -> bool:
         if isinstance(message, PullRequest):
@@ -66,8 +84,9 @@ class DelayMasterPolicy(MasterPolicy):
                 else:
                     # One parked entry per worker: a retried pull (the
                     # loss-timeout path) must not claim two offers.
-                    if message.worker not in self.parked:
+                    if message.worker not in self._parked_set:
                         self.parked.append(message.worker)
+                        self._parked_set.add(message.worker)
             return True
         if isinstance(message, JobAccept):
             self.in_flight.pop(message.job.job_id, None)
@@ -84,7 +103,10 @@ class DelayMasterPolicy(MasterPolicy):
         requeue: worker->master delivery is FIFO per pair, so an accept
         sent before the crash was processed before this WorkerFailure."""
         self.parked = deque(name for name in self.parked if name != worker)
+        self._parked_set.discard(worker)
         self.holdings.pop(worker, None)
+        if self._hx is not None:
+            self._hx.drop_worker(worker)
         lost = [
             job_id
             for job_id, (offeree, _) in self.in_flight.items()
@@ -101,6 +123,8 @@ class DelayMasterPolicy(MasterPolicy):
         return job.repo_id is None or job.repo_id in self.holdings.get(worker, ())
 
     def _try_offer(self, worker: str) -> bool:
+        if self._hx is not None:
+            return self._try_offer_vectorized(worker)
         for index, job in enumerate(self.job_queue):
             if self._local_for(worker, job):
                 del self.job_queue[index]
@@ -111,6 +135,31 @@ class DelayMasterPolicy(MasterPolicy):
             if self.skips[job.job_id] > self.max_skips:
                 # Waited long enough: launch non-locally.
                 del self.job_queue[index]
+                self.skips.pop(job.job_id, None)
+                self._offer(worker, job)
+                return True
+        return False
+
+    def _try_offer_vectorized(self, worker: str) -> bool:
+        """The scan above against one precomputed locality mask.
+
+        The walk (and its skip accounting) stays sequential -- the skip
+        counters mutate as the scan advances, which no batched form can
+        reproduce -- but the per-job holdings-set probe becomes a single
+        boolean gather over the queue's repo-column plane.
+        """
+        mask = self.job_queue.local_mask(worker)
+        for index in range(len(self.job_queue)):
+            job = self.job_queue[index]
+            if mask[index]:
+                self.job_queue.delete(index)
+                self.skips.pop(job.job_id, None)
+                self._offer(worker, job)
+                return True
+            self.skips[job.job_id] = self.skips.get(job.job_id, 0) + 1
+            if self.skips[job.job_id] > self.max_skips:
+                # Waited long enough: launch non-locally.
+                self.job_queue.delete(index)
                 self.skips.pop(job.job_id, None)
                 self._offer(worker, job)
                 return True
@@ -131,6 +180,7 @@ class DelayMasterPolicy(MasterPolicy):
                 else:
                     still_parked.append(worker)
         self.parked = still_parked
+        self._parked_set = set(still_parked)
 
 
 class DelayWorkerPolicy(WorkerPolicy):

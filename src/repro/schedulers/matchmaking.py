@@ -31,6 +31,7 @@ from repro.engine.messages import (
     NoWork,
     PullRequest,
 )
+from repro.fleet import HoldingsIndex, LocalityQueue
 from repro.schedulers.base import MasterPolicy, SchedulerPolicy, WorkerPolicy
 from repro.sim.events import AnyOf
 from repro.sim.resources import Store
@@ -46,16 +47,32 @@ class MatchmakingMasterPolicy(MasterPolicy):
 
     def __init__(self) -> None:
         super().__init__()
-        self.job_queue: deque[Job] = deque()
+        self.job_queue = deque()
         #: worker -> repos known to be cached there (built from completions).
         self.holdings: dict[str, set[str]] = {}
+        #: Struct-of-arrays mirror of ``holdings`` (None when the fast
+        #: path is off); drives the vectorised first-local queue scan.
+        self._hx: Optional[HoldingsIndex] = None
         #: Pulls parked because nothing was offerable: (worker, attempt).
         self.parked: deque[tuple[str, int]] = deque()
+        #: Mirror of ``parked`` worker membership -- the dedup test used
+        #: to scan the deque per pull, O(parked) per message.
+        self._parked_workers: set[str] = set()
         #: job_id -> (worker, job) for offers awaiting their JobAccept.
         #: An offered job lives in neither the queue nor the master's
         #: assignment table, so a crash of the offeree would otherwise
         #: lose it (requeued in :meth:`on_worker_failed`).
         self.in_flight: dict[str, tuple[str, Job]] = {}
+
+    def on_fleet_attached(self) -> None:
+        """Runtime wired the fleet mirror: swap in the vectorised queue
+        (before any job arrives); the holdings dict stays authoritative,
+        the index mirrors it."""
+        self._hx = HoldingsIndex()
+        queue = LocalityQueue(self._hx)
+        for job in self.job_queue:
+            queue.append(job)
+        self.job_queue = queue
 
     def on_job(self, job: Job) -> None:
         self.job_queue.append(job)
@@ -64,6 +81,8 @@ class MatchmakingMasterPolicy(MasterPolicy):
     def on_job_completed(self, job: Job, worker: str) -> None:
         if job.repo_id is not None and worker is not None:
             self.holdings.setdefault(worker, set()).add(job.repo_id)
+            if self._hx is not None:
+                self._hx.add(worker, job.repo_id)
 
     def on_message(self, message: object) -> bool:
         if isinstance(message, PullRequest):
@@ -76,12 +95,14 @@ class MatchmakingMasterPolicy(MasterPolicy):
                     # One parked entry per worker: a retried pull (the
                     # loss-timeout path) replaces the stale one instead
                     # of queueing a duplicate offer claim.
-                    if any(entry[0] == message.worker for entry in self.parked):
+                    if message.worker in self._parked_workers:
                         self.parked = deque(
                             entry
                             for entry in self.parked
                             if entry[0] != message.worker
                         )
+                    else:
+                        self._parked_workers.add(message.worker)
                     self.parked.append((message.worker, message.attempt))
             return True
         if isinstance(message, JobAccept):
@@ -101,7 +122,10 @@ class MatchmakingMasterPolicy(MasterPolicy):
         delivery is FIFO per pair, so an accept sent before the crash
         was processed before this WorkerFailure arrived."""
         self.parked = deque(entry for entry in self.parked if entry[0] != worker)
+        self._parked_workers.discard(worker)
         self.holdings.pop(worker, None)
+        if self._hx is not None:
+            self._hx.drop_worker(worker)
         lost = [
             job_id
             for job_id, (offeree, _) in self.in_flight.items()
@@ -121,6 +145,15 @@ class MatchmakingMasterPolicy(MasterPolicy):
         if not self.job_queue:
             return False
         if attempt <= 1:
+            if self._hx is not None:
+                # Vectorised first-local scan: one boolean gather over
+                # the queue's repo-column plane instead of a per-job
+                # holdings-set probe.
+                index = self.job_queue.first_local(worker)
+                if index < 0:
+                    return False
+                self._offer(worker, self.job_queue.delete(index))
+                return True
             for index, job in enumerate(self.job_queue):
                 if self._local_for(worker, job):
                     del self.job_queue[index]
@@ -147,6 +180,7 @@ class MatchmakingMasterPolicy(MasterPolicy):
                 else:
                     still_parked.append((worker, attempt))
         self.parked = still_parked
+        self._parked_workers = {entry[0] for entry in still_parked}
 
 
 class MatchmakingWorkerPolicy(WorkerPolicy):

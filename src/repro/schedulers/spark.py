@@ -30,6 +30,9 @@ from __future__ import annotations
 
 from typing import Optional
 
+import numpy as np
+
+from repro.fleet import HolderMatrix, argmin_value_rank, name_ranks
 from repro.schedulers.base import (
     MasterPolicy,
     PassiveWorkerPolicy,
@@ -61,6 +64,10 @@ class SparkMasterPolicy(MasterPolicy):
         self._plan: dict[str, str] = {}
         self._planned_counts: dict[str, int] = {}
         self._order: Optional[list[str]] = None
+        #: Struct-of-arrays mirror of ``_planned_counts`` aligned with
+        #: ``_order`` (None when the fast path is off or after fleet
+        #: churn; rebuilt lazily from the authoritative dict).
+        self._counts: Optional[np.ndarray] = None
 
     def _executor_order(self) -> list[str]:
         """The driver's executor list, shuffled per run.
@@ -86,6 +93,9 @@ class SparkMasterPolicy(MasterPolicy):
         self._planned_counts = {worker: 0 for worker in workers}
         fair_share = len(jobs) / len(workers)
         cap = fair_share + self.locality_wait_slots
+        if self._soa_on():
+            self._plan_vectorized(jobs, workers, cap)
+            return
         for job in jobs:
             worker = None
             if self.use_locality and job.repo_id is not None:
@@ -102,6 +112,34 @@ class SparkMasterPolicy(MasterPolicy):
                 worker = self._least_loaded(workers)
             self._plan[job.job_id] = worker
             self._planned_counts[worker] += 1
+
+    def _soa_on(self) -> bool:
+        return getattr(getattr(self, "master", None), "fleet", None) is not None
+
+    def _plan_vectorized(self, jobs: list[Job], workers: list[str], cap: float) -> None:
+        """Struct-of-arrays port of the planning loop above.
+
+        Counts live in an int64 plane aligned with the executor order;
+        the holder pick is a (count, name) rank argmin over the masked
+        holder set, the ANY fallback np.argmin's first-occurrence
+        (= registration-order) tie-break -- both exactly the scalar
+        rules, so the resulting plan is identical.
+        """
+        counts = np.zeros(len(workers), dtype=np.int64)
+        ranks = name_ranks(workers)
+        matrix = HolderMatrix(workers, self.cache_view) if self.use_locality else None
+        for job in jobs:
+            slot = -1
+            if matrix is not None and job.repo_id is not None:
+                holders = matrix.holders(matrix.job_col(job.repo_id)) & (counts < cap)
+                slot = argmin_value_rank(counts, ranks, holders)
+            if slot < 0:
+                slot = int(np.argmin(counts))
+            self._plan[job.job_id] = workers[slot]
+            counts[slot] += 1
+        for index, worker in enumerate(workers):
+            self._planned_counts[worker] = int(counts[index])
+        self._counts = counts
 
     def _least_loaded(self, workers: list[str]) -> str:
         """Balanced by *count* only -- all workers are equal to Spark.
@@ -122,6 +160,7 @@ class SparkMasterPolicy(MasterPolicy):
         if self._order is not None and worker in self._order:
             self._order.remove(worker)
         self._planned_counts.pop(worker, None)
+        self._counts = None
         for job_id, name in list(self._plan.items()):
             if name == worker:
                 del self._plan[job_id]
@@ -139,6 +178,7 @@ class SparkMasterPolicy(MasterPolicy):
             self._planned_counts[worker] = max(
                 self._planned_counts.values(), default=0
             )
+        self._counts = None
 
     # -- arrival-time dispatch --------------------------------------------------
 
@@ -147,11 +187,34 @@ class SparkMasterPolicy(MasterPolicy):
         if worker is None:
             # A dynamically spawned job: balanced, locality-blind.
             workers = self._executor_order()
-            if not self._planned_counts:
-                self._planned_counts = {name: 0 for name in workers}
-            worker = self._least_loaded(workers)
+            if len(self._planned_counts) < len(workers):
+                # Executors that registered before any planning happened
+                # (serve-mode scale-up) must enter the count table too,
+                # or the balanced scan below KeyErrors / skews onto the
+                # few workers that did get seeded.
+                for name in workers:
+                    self._planned_counts.setdefault(name, 0)
+                self._counts = None
+            if self._soa_on():
+                counts = self._counts_mirror(workers)
+                slot = int(np.argmin(counts))
+                worker = workers[slot]
+                counts[slot] += 1
+            else:
+                worker = self._least_loaded(workers)
             self._planned_counts[worker] += 1
         self.master.assign(job, worker)
+
+    def _counts_mirror(self, workers: list[str]) -> np.ndarray:
+        """The int64 count plane aligned with ``workers`` (= the
+        executor order), rebuilt from the dict after fleet churn."""
+        if self._counts is None or self._counts.shape[0] != len(workers):
+            self._counts = np.fromiter(
+                (self._planned_counts[name] for name in workers),
+                dtype=np.int64,
+                count=len(workers),
+            )
+        return self._counts
 
 
 def make_spark_policy(

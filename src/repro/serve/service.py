@@ -43,6 +43,7 @@ from repro.engine.runtime import (
 )
 from repro.engine.worker import WorkerNode
 from repro.faults.injector import FaultInjector
+from repro.fleet import FleetState, soa_enabled
 from repro.faults.plan import FaultPlan
 from repro.metrics.collector import MetricsCollector
 from repro.net.bandwidth import FairSharePipe
@@ -190,6 +191,14 @@ class ServiceRuntime:
             self.monitor.contest_window_s = getattr(
                 self._master_policy, "window_s", None
             )
+        #: Struct-of-arrays fleet mirror (see :mod:`repro.fleet`), or
+        #: ``None`` when ``REPRO_FLEET_SOA=0``; same wiring as the
+        #: workflow runtime, plus per-scale-up attaches.
+        self.fleet: Optional[FleetState] = FleetState() if soa_enabled() else None
+        if self.fleet is not None:
+            self.master.attach_fleet(self.fleet)
+            for node in self.workers.values():
+                self.fleet.attach_node(node)
         if hasattr(self._master_policy, "cache_view"):
             self._master_policy.cache_view = {
                 name: set(worker.cache.contents())
@@ -275,13 +284,17 @@ class ServiceRuntime:
         master = self.master
         probes.register("master.outstanding", lambda: master.outstanding, unit="jobs")
         probes.register("fleet.active", lambda: len(master.active_workers), unit="workers")
-        probes.register(
-            "fleet.busy",
-            lambda: sum(
-                1 for w in self.workers.values() if w.alive and not w.is_idle
-            ),
-            unit="workers",
-        )
+        if self.fleet is not None:
+            # One vectorised count over the alive/outstanding planes.
+            probes.register("fleet.busy", self.fleet.busy_count, unit="workers")
+        else:
+            probes.register(
+                "fleet.busy",
+                lambda: sum(
+                    1 for w in self.workers.values() if w.alive and not w.is_idle
+                ),
+                unit="workers",
+            )
         probes.register("service.inflight", lambda: self.inflight, unit="jobs")
         probes.register(
             "admission.depth", lambda: self.admission.depth, unit="jobs"
@@ -449,6 +462,8 @@ class ServiceRuntime:
             obs=self.obs,
         )
         self.workers[name] = node
+        if self.fleet is not None:
+            self.fleet.attach_node(node)
         node.start()
         if hasattr(self._master_policy, "cache_view"):
             self._master_policy.cache_view[name] = set()

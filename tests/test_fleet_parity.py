@@ -1,0 +1,95 @@
+"""``REPRO_FLEET_SOA`` parity: the fast path must change nothing.
+
+The struct-of-arrays mirrors are a pure performance substrate -- with
+the switch off, every consumer falls back to its original per-object
+Python scan.  Both paths must produce bit-identical fixed-seed metrics,
+which is pinned two ways: the golden determinism fixture (recorded
+before the fast path existed and replayed with it *on* in
+``test_determinism_golden``) and this module, which replays the same
+cell with the fast path *off* for every registered scheduler.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from conftest import make_profile, make_spec
+from repro.engine.runtime import EngineConfig, WorkflowRuntime
+from repro.experiments.runner import CellSpec, run_cell
+from repro.fleet import SOA_ENV, soa_enabled
+from repro.schedulers.registry import make_scheduler
+from repro.workload.job import Job, JobArrival, JobStream
+from repro.workload.msr import TASK_ANALYZER
+
+GOLDEN = json.loads(
+    (Path(__file__).parent / "golden_determinism.json").read_text(encoding="utf-8")
+)
+
+
+def _observed(result):
+    return {
+        "iteration": result.iteration,
+        "makespan_s": result.makespan_s,
+        "cache_misses": result.cache_misses,
+        "cache_hits": result.cache_hits,
+        "data_load_mb": result.data_load_mb,
+        "jobs_completed": result.jobs_completed,
+    }
+
+
+def test_switch_parsing(monkeypatch):
+    for off in ("0", "false", "OFF", " no "):
+        monkeypatch.setenv(SOA_ENV, off)
+        assert not soa_enabled()
+    for on in ("1", "true", "yes", ""):
+        monkeypatch.setenv(SOA_ENV, on)
+        assert soa_enabled()
+    monkeypatch.delenv(SOA_ENV)
+    assert soa_enabled()
+
+
+def _tiny_runtime():
+    stream = JobStream(
+        arrivals=[
+            JobArrival(
+                at=0.0,
+                job=Job(job_id="j0", task=TASK_ANALYZER, repo_id="r0", size_mb=10.0),
+            )
+        ]
+    )
+    return WorkflowRuntime(
+        profile=make_profile(make_spec("w1")),
+        stream=stream,
+        scheduler=make_scheduler("baseline"),
+        config=EngineConfig(seed=0),
+    )
+
+
+def test_switch_controls_runtime_wiring(monkeypatch):
+    monkeypatch.setenv(SOA_ENV, "0")
+    assert _tiny_runtime().fleet is None
+    monkeypatch.delenv(SOA_ENV)
+    runtime = _tiny_runtime()
+    assert runtime.fleet is not None
+    assert runtime.workers["w1"].fleet is runtime.fleet
+
+
+@pytest.mark.parametrize("scheduler", sorted(GOLDEN))
+def test_scalar_path_matches_golden(monkeypatch, scheduler):
+    """With the fast path off, the golden cell's metrics are unchanged
+    -- so scalar and vectorised paths agree to the last bit."""
+    monkeypatch.setenv(SOA_ENV, "0")
+    results = run_cell(
+        CellSpec(
+            scheduler=scheduler,
+            workload="80%_small",
+            profile="fast-slow",
+            seed=7,
+            iterations=2,
+        )
+    )
+    expected = GOLDEN[scheduler]
+    assert len(results) == len(expected)
+    for result, exp in zip(results, expected):
+        assert _observed(result) == exp, f"{scheduler} iteration {result.iteration}"

@@ -1,0 +1,256 @@
+"""Property tests: the struct-of-arrays fleet mirrors never drift.
+
+The fast path (:mod:`repro.fleet`) keeps numpy planes *alongside* the
+authoritative per-object state, maintained incrementally at the
+mutation seams.  These tests drive randomized seam sequences -- joins,
+retires, crashes, count reports, cache churn -- against both the mirror
+and a plain-Python reference model, and require exact agreement: a
+mirror that drifts by one bit would silently change scheduling
+decisions while every example-based test still passes.
+
+The final test closes the loop end-to-end: a fault-injected workflow
+run with the :mod:`repro.check` invariant monitors live, after which
+the fleet planes must equal the worker nodes' own state.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from conftest import make_profile, make_spec
+from repro.data.cache import WorkerCache
+from repro.engine.runtime import EngineConfig, WorkflowRuntime
+from repro.fleet import FleetState, LoadTable
+from repro.fleet.soa import _CacheObserver
+from repro.net.topology import TopologyConfig
+from repro.schedulers.registry import make_scheduler
+from repro.workload.job import Job, JobArrival, JobStream
+from repro.workload.msr import TASK_ANALYZER
+
+WORKERS = [f"w{i}" for i in range(6)]
+REPOS = [f"r{i}" for i in range(8)]
+
+worker_st = st.sampled_from(WORKERS)
+repo_st = st.sampled_from(REPOS)
+
+fleet_op_st = st.one_of(
+    st.tuples(st.just("join"), worker_st),
+    st.tuples(st.just("retire"), worker_st),
+    st.tuples(st.just("fail"), worker_st),
+    st.tuples(st.just("set_alive"), worker_st, st.booleans()),
+    st.tuples(
+        st.just("report"),
+        worker_st,
+        st.integers(min_value=0, max_value=5),
+        st.integers(min_value=0, max_value=5),
+    ),
+    st.tuples(st.just("cache_set"), worker_st, repo_st, st.booleans()),
+    st.tuples(st.just("cache_clear"), worker_st),
+)
+
+
+class _Reference:
+    """The plain-Python model the mirror must track exactly."""
+
+    def __init__(self):
+        self.alive = {}
+        self.active = {}
+        self.outstanding = {}
+        self.queued = {}
+        self.cache = {}
+
+    def ensure(self, name):
+        self.alive.setdefault(name, False)
+        self.active.setdefault(name, False)
+        self.outstanding.setdefault(name, 0)
+        self.queued.setdefault(name, 0)
+        self.cache.setdefault(name, set())
+
+    def busy_count(self):
+        return sum(
+            1 for n in self.alive if self.alive[n] and self.outstanding[n] > 0
+        )
+
+    def active_busy_count(self):
+        return sum(
+            1 for n in self.active if self.active[n] and self.outstanding[n] > 0
+        )
+
+
+@given(st.lists(fleet_op_st, max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_fleet_state_mirror_matches_reference(ops):
+    fleet = FleetState()
+    ref = _Reference()
+    for op in ops:
+        kind, name = op[0], op[1]
+        slot = fleet.ensure_worker(name)
+        ref.ensure(name)
+        if kind == "join":
+            fleet.on_join(name)
+            ref.active[name] = True
+        elif kind == "retire":
+            fleet.on_retire(name)
+            ref.active[name] = False
+        elif kind == "fail":
+            fleet.on_fail(name)
+            ref.active[name] = False
+        elif kind == "set_alive":
+            fleet.set_alive(slot, op[2])
+            ref.alive[name] = op[2]
+        elif kind == "report":
+            fleet.report(slot, op[2], op[3])
+            ref.outstanding[name] = op[2]
+            ref.queued[name] = op[3]
+        elif kind == "cache_set":
+            fleet.cache.set(slot, op[2], op[3])
+            (ref.cache[name].add if op[3] else ref.cache[name].discard)(op[2])
+        elif kind == "cache_clear":
+            fleet.cache.clear_row(slot)
+            ref.cache[name].clear()
+    # Exact plane-by-plane agreement, then the derived counts.
+    for name in ref.alive:
+        slot = fleet.slot_of(name)
+        assert bool(fleet.alive[slot]) == ref.alive[name]
+        assert bool(fleet.active[slot]) == ref.active[name]
+        assert int(fleet.outstanding[slot]) == ref.outstanding[name]
+        assert int(fleet.queued[slot]) == ref.queued[name]
+        assert fleet.cache.row_contents(slot) == ref.cache[name]
+    assert fleet.busy_count() == ref.busy_count()
+    assert fleet.active_busy_count() == ref.active_busy_count()
+    if ref.alive:
+        slots = np.array([fleet.slot_of(n) for n in ref.alive], dtype=np.intp)
+        assert list(fleet.queued_values(slots)) == [
+            ref.queued[n] for n in ref.alive
+        ]
+        assert list(fleet.busy_values(slots)) == [
+            int(ref.alive[n] and ref.outstanding[n] > 0) for n in ref.alive
+        ]
+
+
+cache_op_st = st.one_of(
+    st.tuples(st.just("insert"), repo_st, st.floats(min_value=1.0, max_value=40.0)),
+    st.tuples(st.just("lookup"), repo_st),
+    st.tuples(st.just("clear")),
+    st.tuples(
+        st.just("preload"),
+        st.dictionaries(repo_st, st.floats(min_value=1.0, max_value=40.0), max_size=4),
+    ),
+)
+
+
+@given(
+    st.floats(min_value=20.0, max_value=120.0),
+    st.lists(cache_op_st, max_size=100),
+)
+@settings(max_examples=100, deadline=None)
+def test_cache_observer_tracks_worker_cache(capacity_mb, ops):
+    """Cache churn through the observer seam: inserts, LRU eviction
+    cascades, preloads and clears on a capacity-bounded cache keep the
+    bit-matrix row equal to the cache's own membership after every op."""
+    fleet = FleetState()
+    slot = fleet.ensure_worker("w0")
+    cache = WorkerCache(capacity_mb=capacity_mb)
+    cache.observer = _CacheObserver(fleet, slot)
+    for op in ops:
+        if op[0] == "insert":
+            cache.insert(op[1], op[2])
+        elif op[0] == "lookup":
+            cache.lookup(op[1])
+        elif op[0] == "clear":
+            cache.clear()
+        elif op[0] == "preload":
+            cache.preload(op[1])
+        assert fleet.cache.row_contents(slot) == set(cache.contents())
+
+
+load_op_st = st.one_of(
+    st.tuples(st.just("ensure"), worker_st, st.floats(0.0, 100.0)),
+    st.tuples(st.just("add"), worker_st, st.floats(0.1, 10.0)),
+    st.tuples(st.just("set"), worker_st, st.floats(0.0, 100.0)),
+    st.tuples(st.just("pop"), worker_st),
+)
+
+
+@given(st.lists(load_op_st, max_size=150))
+@settings(max_examples=100, deadline=None)
+def test_load_table_matches_dict_scans(ops):
+    """LoadTable vs the dict it mirrors: after every mutation the rank
+    argmin/argmax must equal ``min``/``max`` over the dict with the
+    (value, name) tuple key -- the exact scans the planners replaced."""
+    table = LoadTable()
+    ref = {}
+    for op in ops:
+        kind, name = op[0], op[1]
+        if kind == "ensure":
+            if name not in ref:
+                ref[name] = op[2]
+            table.ensure(name, op[2])
+        elif kind == "add":
+            if name in ref:
+                ref[name] += op[2]
+                table.add(name, op[2])
+        elif kind == "set":
+            # ``set`` targets existing entries (consumers ensure first).
+            if name in ref:
+                ref[name] = op[2]
+                table.set(name, op[2])
+        elif kind == "pop":
+            ref.pop(name, None)
+            table.pop(name)
+        assert len(table) == len(ref)
+        for key, value in ref.items():
+            assert table.get(key) == value
+        if ref:
+            assert table.argmin_name() == min(ref, key=lambda n: (ref[n], n))
+            assert table.argmax_name() == max(ref, key=lambda n: (ref[n], n))
+            assert table.max_value() == max(ref.values())
+
+
+def test_fleet_mirror_consistent_after_faulty_run():
+    """End-to-end: a monitored, fault-injected run (worker crash +
+    restart under fault tolerance) leaves the mirror equal to every
+    node's own state -- counts, liveness, link and cache contents."""
+    stream = JobStream(
+        arrivals=[
+            JobArrival(
+                at=float(i),
+                job=Job(
+                    job_id=f"j{i}",
+                    task=TASK_ANALYZER,
+                    repo_id=f"r{i % 4}",
+                    size_mb=40.0,
+                ),
+            )
+            for i in range(10)
+        ]
+    )
+    runtime = WorkflowRuntime(
+        profile=make_profile(make_spec("w1"), make_spec("w2"), make_spec("w3")),
+        stream=stream,
+        scheduler=make_scheduler("bidding"),
+        config=EngineConfig(
+            seed=3,
+            noise_kind="none",
+            noise_params={},
+            topology=TopologyConfig(min_latency=0.001, max_latency=0.002),
+            fault_tolerance=True,
+            max_sim_time=2000.0,
+            check=True,
+        ),
+    )
+    runtime.sim.timeout(5.0).add_callback(lambda _e: runtime.workers["w2"].kill())
+    result = runtime.run()
+    assert result.jobs_completed == 10
+    fleet = runtime.fleet
+    assert fleet is not None
+    for name, node in runtime.workers.items():
+        slot = fleet.slot_of(name)
+        assert bool(fleet.alive[slot]) == node.alive
+        assert int(fleet.outstanding[slot]) == node._outstanding_jobs
+        assert int(fleet.queued[slot]) == len(node.queue)
+        assert fleet.cache.row_contents(slot) == set(node.cache.contents())
+        assert bool(fleet.link_busy[slot]) == node.machine.link.busy
+    assert set(
+        name for name in runtime.master.active_workers
+    ) == {name for name in fleet.names if fleet.active[fleet.slot_of(name)]}

@@ -1,5 +1,7 @@
 """Protocol tests for Spark-style, Matchmaking, Delay and control policies."""
 
+from types import SimpleNamespace
+
 import pytest
 
 from conftest import make_profile, make_spec
@@ -120,6 +122,48 @@ class TestSpark:
     def test_validation(self):
         with pytest.raises(ValueError):
             SparkMasterPolicy(locality_wait_slots=-1)
+
+    @staticmethod
+    def _dynamic_after_early_join(soa):
+        """Drive the serve-mode ordering that used to KeyError: a worker
+        registers via ``on_worker_joined`` *before* any planning, then
+        dynamic jobs arrive with no upfront plan at all."""
+        import numpy as np
+
+        policy = SparkMasterPolicy(use_locality=False)
+        master = SimpleNamespace(
+            worker_names=["w1", "w2", "w3"],
+            rng=np.random.default_rng(0),
+            fleet=object() if soa else None,
+            assignments={},
+        )
+        master.assign = lambda job, worker: master.assignments.__setitem__(
+            job.job_id, worker
+        )
+        policy.bind(master)
+        # Scale-up registers w4 before the policy ever saw a job: only
+        # w4 enters the count table ({"w4": 0}), which is non-empty but
+        # does not cover the fleet.
+        policy.on_worker_joined("w4")
+        master.worker_names = ["w1", "w2", "w3", "w4"]
+        for i in range(8):
+            policy.on_job(Job(job_id=f"d{i}", task=TASK_ANALYZER))
+        return master.assignments, dict(policy._planned_counts)
+
+    @pytest.mark.parametrize("soa", [False, True], ids=["scalar", "soa"])
+    def test_dynamic_jobs_after_early_join_cover_whole_fleet(self, soa):
+        # Regression: the balanced scan KeyError'd on w1..w3 (or, with a
+        # defensive .get, skewed everything onto w4) because the
+        # partially-seeded count table skipped the rebuild.
+        assignments, counts = self._dynamic_after_early_join(soa)
+        assert len(assignments) == 8
+        assert counts == {"w1": 2, "w2": 2, "w3": 2, "w4": 2}
+
+    def test_dynamic_dispatch_identical_with_fast_path(self):
+        scalar, scalar_counts = self._dynamic_after_early_join(False)
+        fast, fast_counts = self._dynamic_after_early_join(True)
+        assert fast == scalar
+        assert fast_counts == scalar_counts
 
 
 class TestMatchmaking:
