@@ -21,10 +21,17 @@ rather than the scenario.  Anything the checked run raises --
 ``InvariantViolation``, ``OracleMismatch``, or an unexpected engine
 error -- counts as a failure worth shrinking.
 
-Self-validation: ``fuzz(..., planted="double-allocate")`` and
-``planted="overdelivery"`` force one of the :mod:`repro.check.planted`
-bugs into every generated scenario; the fuzzer must catch each and
-shrink it to a handful of jobs on a couple of workers.
+Self-validation: ``fuzz(..., planted="double-allocate")``,
+``planted="overdelivery"`` and ``planted="buggy-migrator"`` force one
+of the :mod:`repro.check.planted` bugs into every generated scenario;
+the fuzzer must catch each and shrink it to a handful of jobs on a
+couple of workers.
+
+``fuzz(..., reconfig=True)`` additionally draws live-reconfiguration
+events -- job migrations and scheduler hot-swaps -- into each scenario,
+so the migration checkpoint/rebind path and the quiesce/export/import
+handoff are exercised against random crash/partition/loss
+interleavings across every scheduler.
 """
 
 from __future__ import annotations
@@ -39,7 +46,11 @@ import numpy as np
 
 from repro.check.invariants import InvariantViolation
 from repro.check.oracle import OracleMismatch, verify_run
-from repro.check.planted import PLANTED, plant_overdelivering_origin
+from repro.check.planted import (
+    PLANTED,
+    plant_buggy_migrator,
+    plant_overdelivering_origin,
+)
 from repro.cluster.profiles import WorkerProfile
 from repro.cluster.worker_spec import WorkerSpec
 from repro.engine.runtime import EngineConfig, WorkflowRuntime
@@ -50,12 +61,13 @@ from repro.faults.plan import (
     RecoveryConfig,
     WorkerCrash,
 )
+from repro.reconfig.plan import JobMigration, ReconfigPlan, SchedulerSwap
 from repro.schedulers.registry import SCHEDULERS, make_scheduler
 from repro.workload.job import Job, JobArrival, JobStream
 from repro.workload.msr import TASK_ANALYZER
 
 #: Planted-bug selectors accepted by :func:`generate_scenario`/:func:`fuzz`.
-PLANTS = ("double-allocate", "overdelivery")
+PLANTS = ("double-allocate", "overdelivery", "buggy-migrator")
 
 
 # ----------------------------------------------------------------------
@@ -81,6 +93,11 @@ class Scenario:
     #: Self-validation plant: swap the origin for an
     #: :class:`~repro.check.planted.OverdeliveringPipe` before running.
     planted_pipe: bool = False
+    #: Live-reconfiguration events (migrations/hot-swaps), or ``None``.
+    reconfig: Optional[ReconfigPlan] = None
+    #: Self-validation plant: build the run with the job-dropping
+    #: :func:`~repro.check.planted.plant_buggy_migrator` controller.
+    planted_migrator: bool = False
 
     def __post_init__(self) -> None:
         if not self.workers:
@@ -91,6 +108,10 @@ class Scenario:
             raise ValueError(f"unknown scheduler {self.scheduler!r}")
         if self.planted_pipe and self.shared_origin_mbps is None:
             raise ValueError("planted_pipe needs shared_origin_mbps")
+        if self.planted_migrator and (
+            self.reconfig is None or not self.reconfig.migrations
+        ):
+            raise ValueError("planted_migrator needs a migration to corrupt")
 
     # -- JSON round-trip ----------------------------------------------
     def to_dict(self) -> dict:
@@ -126,6 +147,8 @@ class Scenario:
             "faults": self.faults.to_dict() if self.faults is not None else None,
             "shared_origin_mbps": self.shared_origin_mbps,
             "planted_pipe": self.planted_pipe,
+            "reconfig": self.reconfig.to_dict() if self.reconfig is not None else None,
+            "planted_migrator": self.planted_migrator,
         }
 
     @classmethod
@@ -160,6 +183,7 @@ class Scenario:
             for j in data["jobs"]
         )
         faults = data.get("faults")
+        reconfig = data.get("reconfig")
         return cls(
             seed=data["seed"],
             scheduler=data["scheduler"],
@@ -168,6 +192,8 @@ class Scenario:
             faults=FaultPlan.from_dict(faults) if faults is not None else None,
             shared_origin_mbps=data.get("shared_origin_mbps"),
             planted_pipe=bool(data.get("planted_pipe", False)),
+            reconfig=ReconfigPlan.from_dict(reconfig) if reconfig is not None else None,
+            planted_migrator=bool(data.get("planted_migrator", False)),
         )
 
     def to_json(self, path: Optional[str] = None) -> str:
@@ -191,11 +217,16 @@ class Scenario:
 # ----------------------------------------------------------------------
 
 
-def generate_scenario(seed: int, planted: Optional[str] = None) -> Scenario:
+def generate_scenario(
+    seed: int, planted: Optional[str] = None, reconfig: bool = False
+) -> Scenario:
     """Random cluster x workload x faults x scheduler from ``seed``.
 
-    Deterministic: the same ``(seed, planted)`` always yields the same
-    scenario.  ``planted`` forces one of :data:`PLANTS` into the run.
+    Deterministic: the same ``(seed, planted, reconfig)`` always yields
+    the same scenario.  ``planted`` forces one of :data:`PLANTS` into
+    the run; ``reconfig`` draws live migrations and scheduler hot-swaps
+    into the event mix (implied by ``planted="buggy-migrator"``, which
+    needs a migration to corrupt).
     """
     if planted is not None and planted not in PLANTS:
         raise ValueError(f"unknown plant {planted!r}; valid: {PLANTS}")
@@ -287,6 +318,52 @@ def generate_scenario(seed: int, planted: Optional[str] = None) -> Scenario:
         if shared_origin is None:
             shared_origin = 40.0
 
+    plan: Optional[ReconfigPlan] = None
+    planted_migrator = planted == "buggy-migrator"
+    if reconfig or planted_migrator:
+        migrations = tuple(
+            JobMigration(
+                at_s=float(rng.uniform(0.5, 20.0)),
+                max_jobs=int(rng.integers(1, 4)),
+                include_running=bool(rng.random() < 0.5),
+                ack_timeout_s=30.0,
+            )
+            for _ in range(int(rng.integers(0, 3)))
+        )
+        swaps = ()
+        if rng.random() < 0.5:
+            swap_to = sorted(SCHEDULERS)[int(rng.integers(len(SCHEDULERS)))]
+            swap_kwargs: dict = {}
+            if (
+                faults is not None
+                and faults.message_loss
+                and swap_to in ("matchmaking", "baseline", "delay")
+            ):
+                # Same liveness guard run_scenario applies to the initial
+                # scheduler: a swapped-in pull policy under message loss
+                # needs a bounded response wait, or a dropped poll wedges
+                # the run and indicts the scenario rather than the engine.
+                swap_kwargs["response_timeout_s"] = 10.0
+            swaps = (
+                SchedulerSwap(
+                    at_s=float(rng.uniform(1.0, 25.0)),
+                    scheduler=swap_to,
+                    scheduler_kwargs=swap_kwargs,
+                ),
+            )
+        if planted_migrator:
+            # The plant corrupts the first migration; guarantee one that
+            # fires early enough to find jobs still on a worker's books.
+            migrations = (
+                JobMigration(
+                    at_s=float(rng.uniform(0.5, 5.0)),
+                    max_jobs=2,
+                    include_running=True,
+                ),
+            ) + migrations
+        if migrations or swaps:
+            plan = ReconfigPlan(migrations=migrations, swaps=swaps)
+
     return Scenario(
         seed=seed,
         scheduler=scheduler,
@@ -295,6 +372,8 @@ def generate_scenario(seed: int, planted: Optional[str] = None) -> Scenario:
         faults=faults,
         shared_origin_mbps=shared_origin,
         planted_pipe=planted_pipe,
+        reconfig=plan,
+        planted_migrator=planted_migrator,
     )
 
 
@@ -354,9 +433,12 @@ def run_scenario(scenario: Scenario) -> ScenarioOutcome:
         ),
         faults=scenario.faults,
         allow_partial=True,
+        reconfig=scenario.reconfig,
     )
     if scenario.planted_pipe:
         plant_overdelivering_origin(runtime)
+    if scenario.planted_migrator:
+        plant_buggy_migrator(runtime)
     try:
         result = runtime.run()
         verify_run(result, runtime.metrics)
@@ -417,6 +499,25 @@ def _candidates(scenario: Scenario):
                 trimmed = entries[:index] + entries[index + 1 :]
                 yield replace(scenario, faults=replace(faults, **{name: trimmed}))
         yield replace(scenario, faults=None)
+    # Drop individual reconfig entries, then the whole plan.  Dropping
+    # the migration the migrator plant corrupts is invalid (the guard in
+    # ``__post_init__`` raises), exactly like the pipe plant's origin.
+    plan = scenario.reconfig
+    if plan is not None:
+        for name in ("migrations", "swaps"):
+            entries = getattr(plan, name)
+            for index in range(len(entries)):
+                trimmed = entries[:index] + entries[index + 1 :]
+                shrunk_plan = replace(plan, **{name: trimmed})
+                try:
+                    yield replace(
+                        scenario,
+                        reconfig=None if shrunk_plan.is_trivial else shrunk_plan,
+                    )
+                except ValueError:
+                    continue
+        if not scenario.planted_migrator:
+            yield replace(scenario, reconfig=None)
     # Drop the shared origin (impossible while the pipe plant needs it).
     if scenario.shared_origin_mbps is not None and not scenario.planted_pipe:
         yield replace(scenario, shared_origin_mbps=None)
@@ -484,12 +585,14 @@ def fuzz(
     planted: Optional[str] = None,
     max_scenarios: Optional[int] = None,
     on_scenario: Optional[Callable[[int, Scenario, ScenarioOutcome], None]] = None,
+    reconfig: bool = False,
 ) -> FuzzReport:
     """Generate-and-check scenarios until the wall-clock budget runs out.
 
     Failures are deduplicated by signature (the first witness of each is
     shrunk and kept).  ``on_scenario`` observes every run (for CLI
-    progress); ``max_scenarios`` bounds the loop for tests.
+    progress); ``max_scenarios`` bounds the loop for tests; ``reconfig``
+    mixes migrations and hot-swaps into every generated scenario.
     """
     report = FuzzReport()
     seen: set[tuple[str, str]] = set()
@@ -498,7 +601,7 @@ def fuzz(
     while time.monotonic() - started < budget_s:
         if max_scenarios is not None and index >= max_scenarios:
             break
-        scenario = generate_scenario(seed + index, planted=planted)
+        scenario = generate_scenario(seed + index, planted=planted, reconfig=reconfig)
         outcome = run_scenario(scenario)
         report.scenarios_run += 1
         if on_scenario is not None:

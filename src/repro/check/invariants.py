@@ -118,6 +118,21 @@ _register(
     "conservation",
     "when the service intake closes, admitted == completed + failed",
 )
+_register(
+    "migration-conservation",
+    "conservation",
+    "every job checkpointed off a worker for migration is rebound to a "
+    "target exactly once: a rebind requires a prior checkpoint (no "
+    "duplication) and no checkpointed job is still awaiting its rebind "
+    "when the migration settles or the run ends (no loss)",
+)
+_register(
+    "swap-completeness",
+    "conservation",
+    "a scheduler hot-swap hands every job the old policy still owned "
+    "(parked, queued or mid-contest) to the successor policy: the "
+    "imported job set covers the exported one",
+)
 
 # -- ordering / causality laws ---------------------------------------------
 _register(
@@ -293,6 +308,11 @@ class InvariantMonitor:
         self._assign_counts: dict[str, int] = {}
         self._redispatches: dict[str, int] = {}
 
+        # Live-reconfiguration state (repro.reconfig).
+        self._migrating: dict[str, str] = {}  # job_id -> source worker
+        self._migrations: dict[str, int] = {}  # job_id -> rebind permits
+        self._swap_exported: frozenset = frozenset()
+
         # Worker-side state.
         self._enqueued: dict[str, list[str]] = {}  # worker -> pending job_ids
         self._fetched: dict[str, set[str]] = {}  # worker -> repo ids fetched
@@ -340,7 +360,9 @@ class InvariantMonitor:
         self._note(now, "assigned", f"{job_id} -> {worker}")
         count = self._assign_counts.get(job_id, 0) + 1
         self._assign_counts[job_id] = count
-        permits = 1 + self._redispatches.get(job_id, 0)
+        permits = (
+            1 + self._redispatches.get(job_id, 0) + self._migrations.get(job_id, 0)
+        )
         if count > permits:
             self._violate(
                 "exactly-once-allocation",
@@ -566,6 +588,73 @@ class InvariantMonitor:
         if winner is not None:
             self._pending_winner[job_id] = winner
 
+    # -- live-reconfiguration hooks ------------------------------------
+
+    def on_migration_checkpoint(self, job_id: str, source: str, now: float) -> None:
+        """A job was checkpointed off ``source`` and awaits its rebind."""
+        self.checks += 1
+        self._note(now, "migrate_checkpoint", f"{job_id} off {source}")
+        self._migrating[job_id] = source
+        # The job left the source's local queue; it must be re-enqueued
+        # at the target before it may start again.
+        pending = self._enqueued.get(source)
+        if pending and job_id in pending:
+            pending.remove(job_id)
+
+    def on_migration_rebind(
+        self, job_id: str, source: Optional[str], target: str, now: float
+    ) -> None:
+        """A checkpointed job is about to be bound to its target."""
+        self.checks += 1
+        self._note(now, "migrate_rebind", f"{job_id} {source} -> {target}")
+        if job_id not in self._migrating:
+            self._violate(
+                "migration-conservation",
+                f"job {job_id!r} rebound to {target!r} without a prior "
+                "checkpoint -- the migrator duplicated a job the source "
+                "still owns",
+                job_id=job_id,
+            )
+            return
+        del self._migrating[job_id]
+        self._migrations[job_id] = self._migrations.get(job_id, 0) + 1
+
+    def on_migration_settled(self, now: float) -> None:
+        """A migration action finished issuing rebinds; nothing may dangle."""
+        self.checks += 1
+        self._note(now, "migrate_settled", f"{len(self._migrating)} dangling")
+        if self._migrating:
+            job_id, source = next(iter(sorted(self._migrating.items())))
+            self._violate(
+                "migration-conservation",
+                f"migration settled with {len(self._migrating)} checkpointed "
+                f"job(s) never rebound (first: {job_id!r} off {source!r}) -- "
+                "the migrator dropped work it drained from the source",
+                job_id=job_id,
+            )
+
+    def on_swap_export(self, job_ids, old_policy: str, now: float) -> None:
+        """The outgoing policy exported its owned-job set."""
+        self.checks += 1
+        self._swap_exported = frozenset(job_ids)
+        self._note(now, "swap_export", f"{len(self._swap_exported)} jobs from {old_policy}")
+
+    def on_swap_import(self, job_ids, new_policy: str, now: float) -> None:
+        """The successor policy acknowledged the jobs it now owns."""
+        self.checks += 1
+        imported = frozenset(job_ids)
+        exported = getattr(self, "_swap_exported", frozenset())
+        self._note(now, "swap_import", f"{len(imported)} jobs into {new_policy}")
+        missing = exported - imported
+        if missing:
+            self._violate(
+                "swap-completeness",
+                f"hot-swap into {new_policy!r} lost {len(missing)} job(s) the "
+                f"old policy owned: {sorted(missing)[:5]}",
+                job_id=sorted(missing)[0],
+            )
+        self._swap_exported = frozenset()
+
     # -- service hooks -------------------------------------------------
 
     def on_service_close(self, admitted: int, completed: int, failed: int, now: float) -> None:
@@ -593,6 +682,14 @@ class InvariantMonitor:
         more fundamental error).
         """
         self.checks += 1
+        if self._migrating:
+            job_id, source = next(iter(sorted(self._migrating.items())))
+            self._violate(
+                "migration-conservation",
+                f"run ended with {len(self._migrating)} checkpointed job(s) "
+                f"never rebound (first: {job_id!r} off {source!r})",
+                job_id=job_id,
+            )
         submitted = len(self._submitted)
         completed = len(self._completed)
         failed = len(self._failed)

@@ -11,6 +11,10 @@ shrink the failure to a small deterministic reproducer.  Two plants:
 * :class:`OverdeliveringPipe` -- a shared-origin pipe that moves bytes
   at several times its stated capacity, violating
   ``pipe-no-overdelivery`` on the first completed transfer.
+* :class:`BuggyMigratorController` -- a reconfiguration controller that
+  silently drops the first checkpointed job of every migration instead
+  of rebinding it, violating ``migration-conservation`` when the
+  migration settles.
 
 The plants live in their own :data:`PLANTED` registry, *not* in
 :data:`repro.schedulers.registry.SCHEDULERS` -- the golden determinism
@@ -114,6 +118,29 @@ def plant_overdelivering_origin(runtime, capacity_mbps: Optional[float] = None):
     return pipe
 
 
+def plant_buggy_migrator(runtime) -> None:
+    """Make the runtime build a job-dropping migration controller.
+
+    Call between ``WorkflowRuntime(...)`` and ``run()``; the runtime
+    must carry a non-trivial reconfiguration plan with at least one
+    migration, or the plant never executes.  The first checkpointed job
+    of each migration is discarded instead of rebound -- it is off the
+    source worker's books and never reaches another, so the monitor's
+    ``migration-conservation`` invariant fires the moment the migration
+    settles (and without monitors, the run wedges on the lost job,
+    which is exactly the failure mode the invariant exists to surface).
+    """
+    from repro.reconfig.controller import ReconfigController
+
+    class BuggyMigratorController(ReconfigController):
+        """BUGGY ON PURPOSE: drops the first checkpointed job."""
+
+        def _rebind_all(self, jobs, source, entry):
+            yield from super()._rebind_all(jobs[1:], source, entry)
+
+    runtime.reconfig_controller_factory = BuggyMigratorController
+
+
 #: Planted-bug registry, mirroring ``SCHEDULERS`` in shape.  Pipe plants
 #: are applied post-build (see :func:`plant_overdelivering_origin`), so
 #: only scheduler-shaped plants appear here.
@@ -127,5 +154,6 @@ __all__ = [
     "OverdeliveringPipe",
     "PLANTED",
     "make_double_allocate_policy",
+    "plant_buggy_migrator",
     "plant_overdelivering_origin",
 ]

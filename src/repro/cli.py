@@ -82,6 +82,75 @@ def _add_faults_flag(cmd: argparse.ArgumentParser) -> None:
     )
 
 
+def _parse_reconfig(args: argparse.Namespace):
+    """``--reconfig``/``--migrate``/``--swap-at`` -> ReconfigPlan or None.
+
+    ``--migrate AT[:MAX_JOBS]`` schedules one auto-targeted migration;
+    ``--swap-at AT:SCHEDULER`` schedules one hot-swap; ``--reconfig``
+    takes a full plan as inline JSON or ``@file.json``.  The shorthand
+    flags compose with each other and extend a ``--reconfig`` plan.
+    """
+    reconfig_arg = getattr(args, "reconfig", None)
+    migrate_args = getattr(args, "migrate", None) or []
+    swap_args = getattr(args, "swap_at", None) or []
+    if reconfig_arg is None and not migrate_args and not swap_args:
+        return None
+    import json
+
+    from repro.reconfig import JobMigration, ReconfigPlan, SchedulerSwap
+
+    migrations: list = []
+    swaps: list = []
+    if reconfig_arg is not None:
+        text = reconfig_arg
+        if reconfig_arg.startswith("@"):
+            with open(reconfig_arg[1:], "r", encoding="utf-8") as handle:
+                text = handle.read()
+        plan = ReconfigPlan.from_dict(json.loads(text))
+        migrations.extend(plan.migrations)
+        swaps.extend(plan.swaps)
+    for value in migrate_args:
+        at_s, _, max_jobs = value.partition(":")
+        migrations.append(
+            JobMigration(
+                at_s=float(at_s),
+                max_jobs=int(max_jobs) if max_jobs else 1,
+                include_running=True,
+            )
+        )
+    for value in swap_args:
+        at_s, sep, scheduler = value.partition(":")
+        if not sep or not scheduler:
+            raise SystemExit(f"--swap-at takes AT:SCHEDULER, got {value!r}")
+        swaps.append(SchedulerSwap(at_s=float(at_s), scheduler=scheduler))
+    return ReconfigPlan(migrations=tuple(migrations), swaps=tuple(swaps))
+
+
+def _add_reconfig_flags(cmd: argparse.ArgumentParser) -> None:
+    cmd.add_argument(
+        "--reconfig",
+        metavar="JSON|@FILE",
+        default=None,
+        help="live-reconfiguration plan as inline JSON or @path to a JSON file",
+    )
+    cmd.add_argument(
+        "--migrate",
+        metavar="AT[:MAX_JOBS]",
+        action="append",
+        default=None,
+        help="migrate up to MAX_JOBS jobs (default 1, running included) off the "
+        "most-loaded worker at simulated time AT; repeatable",
+    )
+    cmd.add_argument(
+        "--swap-at",
+        dest="swap_at",
+        metavar="AT:SCHEDULER",
+        action="append",
+        default=None,
+        help="hot-swap the scheduler to SCHEDULER at simulated time AT; repeatable",
+    )
+
+
 def _add_profile_flag(cmd: argparse.ArgumentParser) -> None:
     cmd.add_argument(
         "--profile-hot",
@@ -162,6 +231,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--save-json", metavar="PATH", help="persist per-iteration results as JSON")
     run.add_argument("--save-csv", metavar="PATH", help="persist per-iteration results as CSV")
     _add_faults_flag(run)
+    _add_reconfig_flags(run)
     run.add_argument(
         "--allow-partial",
         action="store_true",
@@ -245,9 +315,14 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     fuzzer.add_argument(
         "--planted",
-        choices=["double-allocate", "overdelivery"],
+        choices=["double-allocate", "overdelivery", "buggy-migrator"],
         default=None,
         help="self-validation: fuzz a deliberately planted bug (exit 0 iff found)",
+    )
+    fuzzer.add_argument(
+        "--reconfig",
+        action="store_true",
+        help="mix live migrations and scheduler hot-swaps into every scenario",
     )
     fuzzer.add_argument(
         "--out",
@@ -446,6 +521,7 @@ def _run_fuzz(args: argparse.Namespace) -> int:
         seed=args.seed,
         planted=args.planted,
         max_scenarios=args.max_scenarios,
+        reconfig=args.reconfig,
     )
     print(
         f"fuzz: {report.scenarios_run} scenarios in {report.elapsed_s:.1f}s, "
@@ -511,6 +587,7 @@ def _run_single(args: argparse.Namespace) -> None:
         iterations=args.iterations,
         keep_cache=not args.cold,
         faults=_parse_faults(args.faults),
+        reconfig=_parse_reconfig(args),
         allow_partial=args.allow_partial,
         engine_overrides=overrides,
     )

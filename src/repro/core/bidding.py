@@ -71,6 +71,7 @@ class BiddingMasterPolicy(MasterPolicy):
     """
 
     name = "bidding"
+    stale_inbound = (Bid,)
 
     def __init__(
         self,
@@ -93,6 +94,14 @@ class BiddingMasterPolicy(MasterPolicy):
         self.contests: dict[str, Contest] = {}
         #: job_ids already granted one fallback re-contest (recovery mode).
         self._rebids: set[str] = set()
+        #: Hot-swap quiesce: runners stop opening contests and park
+        #: pending jobs here for :meth:`export_state` instead.
+        self._quiescing = False
+        self._parked_for_export: list[Job] = []
+        #: Runners currently holding a job (between take and settle);
+        #: the quiescent test must see through the window where a job is
+        #: in a runner's hand but no contest is open yet.
+        self._busy_runners = 0
 
     def start(self) -> None:
         self._pending = Store(self.master.sim)
@@ -138,6 +147,32 @@ class BiddingMasterPolicy(MasterPolicy):
         for contest in self.contests.values():
             contest.exclude(worker)
 
+    # -- hot-swap seam ------------------------------------------------------
+
+    def begin_quiesce(self) -> None:
+        """Runners stop opening contests (pending jobs are parked for
+        export); already-open contests run to their normal close, whose
+        assignment survives the swap at the engine level."""
+        self._quiescing = True
+
+    def quiescent(self) -> bool:
+        return self._busy_runners == 0 and not self._pending.items
+
+    def end_quiesce(self) -> None:
+        """Quiesce timed out: re-enter the parked jobs for contests."""
+        self._quiescing = False
+        parked = list(self._parked_for_export)
+        self._parked_for_export.clear()
+        for job in parked:
+            self._pending.put(job)
+
+    def export_state(self) -> list[Job]:
+        jobs = list(self._parked_for_export)
+        self._parked_for_export.clear()
+        jobs.extend(item for item in self._pending.items if isinstance(item, Job))
+        self._pending.items.clear()
+        return jobs
+
     # -- the contest loop ------------------------------------------------------
 
     def _contest_runner(self):
@@ -145,11 +180,17 @@ class BiddingMasterPolicy(MasterPolicy):
         master = self.master
         while True:
             job = yield self._pending.get()
+            if self._quiescing:
+                # Hot-swap quiesce: park for export instead of contesting.
+                self._parked_for_export.append(job)
+                continue
+            self._busy_runners += 1
             if not master.active_workers:
                 # Robustness: the whole fleet is momentarily down (crash
                 # storm before restarts land).  Park the job and retry.
                 yield master.sim.sleep(self.window_s)
                 self._pending.put(job)
+                self._busy_runners -= 1
                 continue
             contest = Contest(master.sim, job, list(master.active_workers))
             self.contests[job.job_id] = contest
@@ -174,6 +215,7 @@ class BiddingMasterPolicy(MasterPolicy):
                     master.sim.now, job, None, contest.duration, outcome
                 )
                 self._pending.put(job)
+                self._busy_runners -= 1
                 continue
             if winner is None:
                 # "assigns the job to an arbitrary node in case none of
@@ -183,6 +225,7 @@ class BiddingMasterPolicy(MasterPolicy):
                 master.sim.now, job, winner, contest.duration, outcome
             )
             master.assign(job, winner)
+            self._busy_runners -= 1
             # The closed contest stays in the map (Listing 1 keeps its
             # Bids record): late bids are absorbed as ``late_bids``
             # rather than crashing the protocol.
@@ -249,6 +292,11 @@ class BiddingWorkerPolicy(WorkerPolicy):
         worker = self.worker
         while True:
             message = yield subscription.get()
+            if worker.policy is not self:
+                # Hot-swapped out; unsubscribe is idempotent with the
+                # eager one in on_killed.
+                worker.topology.broker.unsubscribe(subscription)
+                return
             if not isinstance(message, JobAnnouncement):
                 raise RuntimeError(f"unexpected announcement payload {message!r}")
             if not worker.alive:

@@ -33,6 +33,7 @@ from repro.engine.messages import (
     Assignment,
     Hello,
     JobCompleted,
+    MigrateAck,
     WorkerFailure,
     is_reliable,
     worker_topic,
@@ -160,6 +161,16 @@ class Master:
         #: Optional observability recorder (see :mod:`repro.obs`);
         #: attached by the runtime when ``EngineConfig.obs`` is set.
         self.obs = None
+        #: Callable ``(ack: MigrateAck) -> None`` routing checkpointed
+        #: jobs to their rebind targets; installed by the
+        #: :class:`~repro.reconfig.ReconfigController` when live
+        #: reconfiguration is active.
+        self.migration_router = None
+        #: Message types tolerated (dropped with a trace record) when the
+        #: active policy does not consume them -- the previous policy's
+        #: in-flight control traffic after a hot-swap.  Empty outside
+        #: swaps, so the unhandled-message error stays strict.
+        self._stale_ok: tuple[type, ...] = ()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -303,6 +314,26 @@ class Master:
         self.metrics.worker_restarted(self.sim.now, name)
         self.policy.on_worker_joined(name)
 
+    def swap_policy(self, policy: "MasterPolicy", stale_ok: tuple = ()) -> None:
+        """Install a successor allocation policy mid-run (hot-swap).
+
+        The caller (:class:`~repro.reconfig.ReconfigController`) owns the
+        protocol: quiesce the old policy, export its state, call this,
+        then import the state into ``policy``.  ``stale_ok`` lists the
+        old protocol's control message types to tolerate-and-drop while
+        their in-flight tail drains.  The successor is bound and started
+        against the *current* fleet; upfront-style policies fall back to
+        their streaming path for jobs imported mid-run.
+        """
+        self.policy = policy
+        self._stale_ok = tuple(stale_ok)
+        policy.bind(self)
+        if self.fleet is not None:
+            hook = getattr(policy, "on_fleet_attached", None)
+            if hook is not None:
+                hook()
+        policy.start()
+
     def arbitrary_worker(self) -> str:
         """The fallback pick when a policy must choose blindly."""
         if not self.active_workers:
@@ -360,13 +391,38 @@ class Master:
                 self._on_completed(message)
             elif isinstance(message, WorkerFailure):
                 self._on_worker_failure(message)
+            elif isinstance(message, MigrateAck):
+                self._on_migrate_ack(message)
             elif self.policy.on_message(message):
                 pass
+            elif self._stale_ok and isinstance(message, self._stale_ok):
+                # Hot-swap residue: control traffic addressed to the
+                # previous policy.  Dropping is safe -- quiesce drained
+                # every job-carrying exchange before the swap.
+                self.metrics.trace.record(
+                    self.sim.now,
+                    "swap_stale_drop",
+                    "-",
+                    getattr(message, "worker", None),
+                    type(message).__name__,
+                )
             else:
                 raise RuntimeError(
                     f"master: unhandled message {message!r} under policy "
                     f"{type(self.policy).__name__}"
                 )
+
+    def _on_migrate_ack(self, message: MigrateAck) -> None:
+        """Route checkpointed jobs to the migration controller."""
+        if self.migration_router is not None:
+            self.migration_router(message)
+            return
+        if message.jobs:
+            # Checkpointed jobs with nobody to rebind them would be lost.
+            raise RuntimeError(
+                f"MigrateAck from {message.worker!r} carrying "
+                f"{len(message.jobs)} job(s) but no migration router is installed"
+            )
 
     def _on_completed(self, message: JobCompleted) -> None:
         job = message.job

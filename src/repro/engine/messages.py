@@ -144,6 +144,41 @@ class JobCompleted:
     ctx: Optional[Any] = field(default=None, compare=False)
 
 
+# -- live reconfiguration (repro.reconfig) ----------------------------------
+
+
+@dataclass(frozen=True)
+class MigrateRequest:
+    """Controller -> worker: checkpoint up to ``max_jobs`` jobs for migration.
+
+    The worker pops jobs from the *tail* of its queue (the youngest,
+    least-committed work first), optionally preempting the running job
+    too, and answers with a single :class:`MigrateAck` carrying the
+    checkpointed jobs.  Request and ack travel as one synchronous
+    exchange on reliable channels, so a crash of either endpoint leaves
+    the jobs either still owned by the source (request lost with the
+    node) or re-dispatchable through the orphan machinery (ack'd jobs
+    rebind through ``master.assign``, whose dead-letter bounce converts
+    a dead target into a :class:`WorkerFailure`).
+    """
+
+    worker: str
+    max_jobs: int = 1
+    include_running: bool = False
+
+
+@dataclass(frozen=True)
+class MigrateAck:
+    """Worker -> master: the checkpointed jobs released for rebinding.
+
+    Job-carrying, hence reliable: a partition may delay it but can never
+    drop it, so a checkpointed job cannot evaporate in transit.
+    """
+
+    worker: str
+    jobs: tuple[Job, ...] = field(default_factory=tuple)
+
+
 #: Messages carried with persistent (never-dropped) JMS semantics: every
 #: message that moves a job or reports its fate.  Control-plane
 #: signalling (pulls, announcements, bids, NoWork) rides non-persistent
@@ -178,4 +213,5 @@ _RELIABLE_TYPES = (
     Assignment,
     JobCompleted,
     WorkerFailure,
+    MigrateAck,
 )

@@ -273,6 +273,7 @@ class WorkflowRuntime:
         iteration: int = 0,
         faults: Optional[FaultPlan] = None,
         allow_partial: bool = False,
+        reconfig: Optional[object] = None,
     ) -> None:
         self.profile = profile
         self.stream = stream
@@ -282,6 +283,14 @@ class WorkflowRuntime:
         self.faults = faults
         self.allow_partial = allow_partial
         self.injector: Optional[FaultInjector] = None
+        #: Live-reconfiguration plan (see :mod:`repro.reconfig`), or
+        #: ``None``; typed loosely to keep the import graph acyclic and
+        #: the plan-free path import-free.
+        self.reconfig = reconfig
+        self.reconfig_controller = None
+        #: Override for the controller class (the planted buggy migrator
+        #: swaps itself in here); ``None`` uses the real controller.
+        self.reconfig_controller_factory = None
 
         # Each iteration of a repeated configuration is an independent
         # execution: noise draws, topology placement and policy tie-breaks
@@ -522,6 +531,13 @@ class WorkflowRuntime:
                 monitor=self.monitor,
             )
             self.injector.start()
+        if self.reconfig is not None and not self.reconfig.is_trivial:
+            factory = self.reconfig_controller_factory
+            if factory is None:
+                from repro.reconfig.controller import ReconfigController as factory
+
+            self.reconfig_controller = factory(self, self.reconfig)
+            self.reconfig_controller.start()
         self.sim.process(self._deadline_guard(), name="deadline-guard")
         self.sim.run(until=self.master.done)
         if self.obs is not None:

@@ -29,6 +29,8 @@ from repro.engine.messages import (
     Assignment,
     Hello,
     JobCompleted,
+    MigrateAck,
+    MigrateRequest,
     WorkerFailure,
     is_reliable,
     worker_topic,
@@ -127,6 +129,11 @@ class WorkerNode:
         self.fleet_slot = -1
         #: job_id -> span context from the Assignment, echoed on completion.
         self._assign_ctxs: dict[str, object] = {}
+        #: Message types tolerated (dropped with a trace record) when the
+        #: active policy does not consume them -- the previous policy's
+        #: in-flight control traffic after a hot-swap.  Empty outside
+        #: swaps, so the unhandled-message error stays strict.
+        self._stale_ok: tuple[type, ...] = ()
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -229,10 +236,26 @@ class WorkerNode:
                 # themselves, and the echo on JobCompleted must survive
                 # either dispatch path.
                 self._assign_ctxs[message.job.job_id] = message.ctx
+            if isinstance(message, MigrateRequest):
+                # Engine-level: checkpoint jobs for the migration
+                # controller before the policy sees anything.
+                self._on_migrate_request(message)
+                continue
             if self.policy.on_message(message):
                 continue
             if isinstance(message, Assignment):
                 self.enqueue(message.job, self._default_estimate(message.job))
+            elif self._stale_ok and isinstance(message, self._stale_ok):
+                # Hot-swap residue: control traffic addressed to the
+                # previous policy.  Dropping is safe -- quiesce drained
+                # every job-carrying exchange before the swap.
+                self.metrics.trace.record(
+                    self.sim.now,
+                    "swap_stale_drop",
+                    "-",
+                    self.name,
+                    type(message).__name__,
+                )
             else:
                 raise RuntimeError(
                     f"worker {self.name}: unhandled message {message!r} "
@@ -263,8 +286,14 @@ class WorkerNode:
                 self.monitor.on_job_started(job.job_id, self.name, started)
             try:
                 yield from self._execute(job)
-            except Interrupt:
-                # Killed mid-job; _fail() already reported the orphans.
+            except Interrupt as interrupt:
+                if interrupt.cause == "migrate-checkpoint":
+                    # The running job was checkpointed out from under us;
+                    # :meth:`checkpoint_jobs` already settled every
+                    # counter synchronously before this throw fired, so
+                    # just move on to the next queued job.
+                    continue
+                # Killed mid-job; kill() already reported the orphans.
                 return
             elapsed = self.sim.now - started
             self.current_job = None
@@ -375,6 +404,81 @@ class WorkerNode:
                 continue
             return item
         return None
+
+    # -- live reconfiguration (repro.reconfig) --------------------------------
+
+    def _on_migrate_request(self, request: MigrateRequest) -> None:
+        """Checkpoint jobs and always answer with a :class:`MigrateAck`.
+
+        The ack travels even when empty so the controller can settle the
+        migration without a timeout on the happy path.
+        """
+        jobs = self.checkpoint_jobs(request.max_jobs, request.include_running)
+        self.send_to_master(MigrateAck(worker=self.name, jobs=tuple(jobs)))
+
+    def checkpoint_jobs(self, max_jobs: int = 1, include_running: bool = False) -> list:
+        """Release up to ``max_jobs`` jobs for migration, youngest first.
+
+        Queued jobs are popped from the *tail* of the FIFO queue (the
+        least-committed work; the head may already have a prefetched
+        clone waiting for it).  With ``include_running`` the running job
+        is preempted too: its partial download/compute is abandoned and
+        it reruns from scratch on the target -- execution is
+        deterministic given the job, so no output is lost.  All local
+        bookkeeping (committed cost, outstanding count, prefetch credit,
+        span contexts) is settled synchronously here, before the
+        executor's interrupt fires, so the node never transits an
+        inconsistent state.
+        """
+        taken: list[Job] = []
+        while (
+            len(taken) < max_jobs
+            and self.queue.items
+            and isinstance(self.queue.items[-1], Job)
+        ):
+            # Safe to pop items directly: a blocked executor ``get``
+            # implies the item list is empty (Store semantics), so a
+            # non-empty list means nobody is waiting on it.
+            taken.append(self.queue.items.pop())
+        if include_running and len(taken) < max_jobs and self.current_job is not None:
+            job = self.current_job
+            self.current_job = None
+            taken.append(job)
+            if self._exec_proc is not None and self._exec_proc.is_alive:
+                self._exec_proc.interrupt("migrate-checkpoint")
+        now = self.sim.now
+        for job in taken:
+            self.unfinished.pop(job.job_id, None)
+            self._outstanding_jobs -= 1
+            self._prefetch_credit.discard(job.job_id)
+            self._assign_ctxs.pop(job.job_id, None)
+            self.metrics.trace.record(now, "migrate_checkpoint", job.job_id, self.name)
+            if self.monitor is not None:
+                self.monitor.on_migration_checkpoint(job.job_id, self.name, now)
+        if taken:
+            if self.fleet is not None:
+                self.fleet.report(
+                    self.fleet_slot, self._outstanding_jobs, len(self.queue)
+                )
+            if self.is_idle:
+                self._wake_idle_waiters()
+        return taken
+
+    def swap_policy(self, policy: "WorkerPolicy", stale_ok: tuple = ()) -> None:
+        """Install a successor worker-side policy mid-run (hot-swap).
+
+        The previous policy is detached via its kill cleanup (releasing
+        e.g. a bidding announce subscription); its long-running loops
+        notice ``worker.policy is not self`` and exit.  ``stale_ok``
+        lists the old protocol's control message types to
+        tolerate-and-drop while their in-flight tail drains.
+        """
+        old = self.policy
+        self.policy = policy
+        self._stale_ok = tuple(stale_ok)
+        old.on_killed()
+        policy.bind(self)
+        policy.start()
 
     def _wake_idle_waiters(self) -> None:
         waiters, self._idle_waiters = self._idle_waiters, []

@@ -153,6 +153,101 @@ def explain_perfetto_drift(committed: dict, current: dict) -> list[str]:
     return lines
 
 
+# -- reconfig fixture -------------------------------------------------------
+
+RECONFIG_SEED = 3
+RECONFIG_SCHEDULER = "bidding"
+RECONFIG_SWAP_TO = "baseline"
+
+
+def reconfig_runtime() -> WorkflowRuntime:
+    """The pinned live-reconfiguration scenario: the perfetto cell's
+    fleet and workload, plus a 2-job migration at t=2 and a
+    bidding->baseline hot-swap at t=4.  Every re-run of the same seed
+    must checkpoint the same jobs, pick the same targets, and swap at
+    the same instant -- the fixture freezes the full migrate/swap event
+    sequence to prove it."""
+    from repro.reconfig import JobMigration, ReconfigPlan, SchedulerSwap
+
+    profile = WorkerProfile(
+        "golden-2w",
+        (
+            WorkerSpec(name="w1", network_mbps=50.0, rw_mbps=100.0, link_latency=0.0),
+            WorkerSpec(name="w2", network_mbps=40.0, rw_mbps=80.0, link_latency=0.0),
+        ),
+    )
+    jobs = [
+        Job(
+            job_id=f"j{index}",
+            task=TASK_ANALYZER,
+            repo_id=f"r{index % 3}",
+            size_mb=20.0 + 5.0 * (index % 3),
+        )
+        for index in range(8)
+    ]
+    plan = ReconfigPlan(
+        migrations=(JobMigration(at_s=2.0, max_jobs=2, include_running=False),),
+        swaps=(SchedulerSwap(at_s=4.0, scheduler=RECONFIG_SWAP_TO),),
+    )
+    return WorkflowRuntime(
+        profile=profile,
+        stream=JobStream.burst(jobs),
+        scheduler=make_scheduler(RECONFIG_SCHEDULER),
+        config=EngineConfig(seed=RECONFIG_SEED, trace=True, check=True),
+        reconfig=plan,
+    )
+
+
+def record_reconfig() -> dict:
+    """Run metrics plus the exact migrate/swap trace of the pinned cell."""
+    runtime = reconfig_runtime()
+    result = runtime.run()
+    reconfig_events = [
+        {
+            "time": event.time,
+            "kind": event.kind,
+            "job_id": event.job_id,
+            "worker": event.worker,
+            "detail": str(event.detail),
+        }
+        for event in runtime.metrics.trace
+        if event.kind.startswith(("migrate_", "swap_"))
+    ]
+    return {
+        "makespan_s": result.makespan_s,
+        "jobs_completed": result.jobs_completed,
+        "cache_misses": result.cache_misses,
+        "cache_hits": result.cache_hits,
+        "data_load_mb": result.data_load_mb,
+        "jobs_migrated": runtime.metrics.jobs_migrated,
+        "scheduler_swaps": runtime.metrics.scheduler_swaps,
+        "events": reconfig_events,
+    }
+
+
+def explain_reconfig_drift(committed: dict, current: dict) -> list[str]:
+    lines = []
+    for key in sorted(set(committed) | set(current)):
+        if key == "events":
+            continue
+        was, now = committed.get(key), current.get(key)
+        if was != now:
+            lines.append(f"  {key}: committed {was!r} vs current {now!r}")
+    was_events = committed.get("events", [])
+    now_events = current.get("events", [])
+    if was_events != now_events:
+        lines.append(
+            f"  {len(was_events)} committed reconfig events vs {len(now_events)} current"
+        )
+        for index, (a, b) in enumerate(zip(was_events, now_events)):
+            if a != b:
+                lines.append(f"  first differing event [{index}]:")
+                lines.append(f"    committed: {json.dumps(a, sort_keys=True)}")
+                lines.append(f"    current:   {json.dumps(b, sort_keys=True)}")
+                break
+    return lines
+
+
 # -- the registry and the shared record/check machinery ---------------------
 
 
@@ -181,6 +276,13 @@ FIXTURES: dict[str, GoldenFixture] = {
         indent=1,
         record=record_perfetto,
         explain_drift=explain_perfetto_drift,
+    ),
+    "reconfig": GoldenFixture(
+        name="reconfig",
+        filename="golden_reconfig.json",
+        indent=2,
+        record=record_reconfig,
+        explain_drift=explain_reconfig_drift,
     ),
 }
 

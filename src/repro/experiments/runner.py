@@ -49,6 +49,10 @@ class CellSpec:
     engine_overrides: tuple[tuple[str, object], ...] = ()
     #: Fault scenario injected into every iteration (``None`` = healthy run).
     faults: Optional[FaultPlan] = None
+    #: Live-reconfiguration scenario -- job migrations and scheduler
+    #: hot-swaps -- applied to every iteration (``None`` = static run);
+    #: a :class:`~repro.reconfig.plan.ReconfigPlan`.
+    reconfig: Optional[object] = None
     #: Return results even when jobs failed permanently, instead of
     #: raising :class:`~repro.engine.runtime.WorkflowStalled`.
     allow_partial: bool = False
@@ -105,6 +109,7 @@ def run_cell_observed(spec: CellSpec) -> tuple[list[RunResult], WorkflowRuntime]
             iteration=iteration,
             faults=spec.faults,
             allow_partial=spec.allow_partial,
+            reconfig=spec.reconfig,
         )
         results.append(runtime.run())
         if spec.keep_cache:

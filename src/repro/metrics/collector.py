@@ -65,6 +65,10 @@ class MetricsCollector:
     jobs_redispatched: int = 0
     jobs_failed: int = 0
     duplicates_suppressed: int = 0
+
+    # Live-reconfiguration counters (repro.reconfig; zero when unused).
+    jobs_migrated: int = 0
+    scheduler_swaps: int = 0
     #: Orphan-to-completion delays, one entry per recovered job.
     recovery_times: list = field(default_factory=list)
     _orphaned_at: dict = field(default_factory=dict)
@@ -201,6 +205,20 @@ class MetricsCollector:
         """At-most-once guard: a second completion for the job arrived."""
         self.duplicates_suppressed += 1
         self.trace.record(now, "duplicate_suppressed", job.job_id, worker)
+
+    # -- live reconfiguration --------------------------------------------------
+
+    def job_migrated(
+        self, now: float, job: Job, source: Optional[str], target: Optional[str]
+    ) -> None:
+        """A checkpointed job was rebound to its migration target."""
+        self.jobs_migrated += 1
+        self.trace.record(now, "migrate_rebind", job.job_id, target, source)
+
+    def scheduler_swapped(self, now: float, old: str, new: str) -> None:
+        """A mid-run scheduler hot-swap completed."""
+        self.scheduler_swaps += 1
+        self.trace.record(now, "swap_done", "-", None, f"{old}->{new}")
 
     def record_fault(
         self, now: float, kind: str, worker: Optional[str] = None, detail: object = None

@@ -26,6 +26,9 @@ Event kinds
                 partition, heal, loss window edges, skipped actions) --
                 surfaced into the main trace so exported timelines show
                 injected chaos alongside the job lifecycle
+``migrate_*`` / ``swap_*``  live-reconfiguration actions (checkpoint,
+                pre-warm, rebind, scheduler hot-swap quiesce/done) --
+                see :mod:`repro.reconfig`
 
 Fleet-level events (worker joins, crashes, fault-injector actions) carry
 the placeholder job id ``"-"``.
@@ -71,6 +74,15 @@ EVENT_KINDS = frozenset(
         "fault_heal",
         "fault_loss_start",
         "fault_loss_end",
+        "migrate_request",
+        "migrate_checkpoint",
+        "migrate_prewarm",
+        "migrate_rebind",
+        "migrate_skipped",
+        "swap_quiesce",
+        "swap_done",
+        "swap_skipped",
+        "swap_stale_drop",
     }
 )
 

@@ -1,0 +1,30 @@
+"""Live reconfiguration: job migration and scheduler hot-swap.
+
+The :mod:`repro.reconfig` package is the faults machinery's constructive
+sibling: where :mod:`repro.faults` injects *failures* at declared times,
+reconfig injects *operations* -- checkpoint/migrate of queued and
+running jobs between workers, and mid-run replacement of the scheduler
+policy itself -- and the same invariant monitor proves no job is lost
+or duplicated across either.
+
+Public surface:
+
+* :class:`~repro.reconfig.plan.JobMigration`,
+  :class:`~repro.reconfig.plan.SchedulerSwap`,
+  :class:`~repro.reconfig.plan.ReconfigPlan` -- declarative, frozen,
+  JSON-round-trippable descriptions of what to reconfigure and when;
+* :class:`~repro.reconfig.controller.ReconfigController` -- executes a
+  plan against a live runtime (workflow or service) and exposes
+  :meth:`~repro.reconfig.controller.ReconfigController.request_migration`
+  for the autoscaler's rebalance hook.
+"""
+
+from repro.reconfig.controller import ReconfigController
+from repro.reconfig.plan import JobMigration, ReconfigPlan, SchedulerSwap
+
+__all__ = [
+    "JobMigration",
+    "ReconfigController",
+    "ReconfigPlan",
+    "SchedulerSwap",
+]

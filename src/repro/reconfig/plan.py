@@ -1,0 +1,169 @@
+"""Declarative reconfiguration plans.
+
+A :class:`ReconfigPlan` is the operational twin of
+:class:`~repro.faults.plan.FaultPlan`: a frozen, validated description
+of *what changes and when* -- job migrations between workers and
+mid-run scheduler hot-swaps.  Plans are pure data; target selection
+(most-loaded source, locality-aware destination) happens at execution
+time in the :class:`~repro.reconfig.controller.ReconfigController`
+against live fleet state, so a plan plus a seed reproduces the exact
+same migration decisions on every run.
+
+Plans round-trip through plain dicts (:meth:`ReconfigPlan.to_dict` /
+:meth:`ReconfigPlan.from_dict`) so the CLI can accept them as JSON.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional
+
+
+def _freeze(value):
+    """Coerce lists (e.g. straight from JSON) into tuples."""
+    if isinstance(value, (list, tuple)):
+        return tuple(value)
+    return value
+
+
+@dataclass(frozen=True)
+class JobMigration:
+    """Checkpoint up to ``max_jobs`` jobs off one worker and rebind them.
+
+    ``source=None`` picks the most-loaded active worker at ``at_s``
+    (deterministic name tie-break); ``target=None`` picks, per job, a
+    locality-aware destination -- the least-loaded active worker already
+    caching the job's repository, falling back to the least-loaded
+    active worker outright.  ``include_running`` additionally preempts
+    the job executing at checkpoint time (its partial work is discarded;
+    the engine models restartable jobs).  ``prewarm`` ships the job's
+    repository into the target's cache out-of-band before the rebind,
+    so the migrated job lands warm.  ``ack_timeout_s`` bounds the wait
+    for the source's checkpoint acknowledgement -- a source that died
+    before the request landed never answers, and its jobs recover
+    through the ordinary orphan re-dispatch machinery instead.
+    """
+
+    at_s: float
+    source: Optional[str] = None
+    target: Optional[str] = None
+    max_jobs: int = 1
+    include_running: bool = False
+    prewarm: bool = True
+    ack_timeout_s: float = 30.0
+
+    def __post_init__(self):
+        if self.at_s < 0:
+            raise ValueError("at_s must be >= 0")
+        if self.max_jobs < 1:
+            raise ValueError("max_jobs must be >= 1")
+        if self.ack_timeout_s <= 0:
+            raise ValueError("ack_timeout_s must be positive")
+
+
+@dataclass(frozen=True)
+class SchedulerSwap:
+    """Replace the running scheduler policy with ``scheduler`` at ``at_s``.
+
+    The swap quiesces the incumbent first (no new offers/contests; open
+    job-carrying exchanges drain), polling every ``poll_s`` until
+    :meth:`~repro.schedulers.base.MasterPolicy.quiescent` or
+    ``quiesce_timeout_s`` elapses -- on timeout the swap is abandoned
+    (``swap_skipped`` trace) and the incumbent resumes, so a stuck
+    exchange can never wedge the run.  ``scheduler_kwargs`` feed the
+    registry factory, exactly like the CLI's scheduler options.
+    """
+
+    at_s: float
+    scheduler: str = "bidding"
+    scheduler_kwargs: tuple = ()
+    quiesce_timeout_s: float = 60.0
+    poll_s: float = 0.05
+
+    def __post_init__(self):
+        # Late import: the registry pulls in every scheduler module,
+        # some of which transitively import plan types.
+        from repro.schedulers.registry import SCHEDULERS
+
+        if self.at_s < 0:
+            raise ValueError("at_s must be >= 0")
+        if self.scheduler not in SCHEDULERS:
+            raise ValueError(
+                f"unknown scheduler {self.scheduler!r}; "
+                f"valid: {sorted(SCHEDULERS)}"
+            )
+        kwargs = self.scheduler_kwargs
+        if isinstance(kwargs, dict):
+            kwargs = tuple(sorted(kwargs.items()))
+        object.__setattr__(
+            self, "scheduler_kwargs", tuple((k, v) for k, v in kwargs)
+        )
+        if self.quiesce_timeout_s <= 0:
+            raise ValueError("quiesce_timeout_s must be positive")
+        if self.poll_s <= 0:
+            raise ValueError("poll_s must be positive")
+
+    @property
+    def kwargs(self) -> dict:
+        """The factory keyword arguments as a plain dict."""
+        return dict(self.scheduler_kwargs)
+
+
+_SCHEDULE_FIELDS = {
+    "migrations": JobMigration,
+    "swaps": SchedulerSwap,
+}
+
+
+@dataclass(frozen=True)
+class ReconfigPlan:
+    """The full reconfiguration scenario for one run.
+
+    Composes any number of migration and hot-swap schedules.  An
+    all-defaults plan (``ReconfigPlan()``) performs nothing and costs
+    nothing: runtimes skip controller construction entirely when
+    :attr:`is_trivial` holds.
+    """
+
+    migrations: tuple = ()
+    swaps: tuple = ()
+
+    def __post_init__(self):
+        for name, cls in _SCHEDULE_FIELDS.items():
+            entries = _freeze(getattr(self, name))
+            for entry in entries:
+                if not isinstance(entry, cls):
+                    raise TypeError(
+                        f"{name} entries must be {cls.__name__}, "
+                        f"got {type(entry).__name__}"
+                    )
+            object.__setattr__(self, name, entries)
+
+    @property
+    def is_trivial(self) -> bool:
+        """True when the plan schedules no reconfiguration at all."""
+        return not any(getattr(self, name) for name in _SCHEDULE_FIELDS)
+
+    def to_dict(self) -> dict:
+        out = {}
+        for name in _SCHEDULE_FIELDS:
+            entries = []
+            for entry in getattr(self, name):
+                data = dataclasses.asdict(entry)
+                if "scheduler_kwargs" in data:
+                    data["scheduler_kwargs"] = dict(data["scheduler_kwargs"])
+                entries.append(data)
+            out[name] = entries
+        return out
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ReconfigPlan":
+        data = dict(data)
+        unknown = set(data) - set(_SCHEDULE_FIELDS)
+        if unknown:
+            raise ValueError(f"unknown ReconfigPlan keys: {sorted(unknown)}")
+        kwargs = {}
+        for name, entry_cls in _SCHEDULE_FIELDS.items():
+            kwargs[name] = tuple(entry_cls(**entry) for entry in data.get(name, ()))
+        return cls(**kwargs)

@@ -42,6 +42,12 @@ class MasterPolicy:
     #: delivered through ``on_job``.
     requires_upfront = False
 
+    #: Inbound message types this policy's protocol can leave in flight
+    #: after it quiesces (control-plane residue: pulls, bids).  A
+    #: successor installed by a hot-swap tolerates exactly these; any
+    #: job-carrying type must drain during quiesce instead.
+    stale_inbound: tuple = ()
+
     def __init__(self) -> None:
         self.master: "Master" = None  # type: ignore[assignment]
 
@@ -97,9 +103,50 @@ class MasterPolicy:
         nothing -- correct for policies that consult
         ``master.active_workers`` on every decision."""
 
+    # -- hot-swap seam (repro.reconfig) ------------------------------------
+
+    def begin_quiesce(self) -> None:
+        """Stop opening new job-carrying exchanges (offers, contests).
+
+        Jobs keep arriving through ``on_job`` and must be *retained*
+        (queued/parked) for :meth:`export_state`; completions and
+        failures keep flowing.  Default: nothing -- correct for push
+        policies whose ``on_job`` assigns synchronously (nothing is ever
+        in flight between policy and workers)."""
+
+    def quiescent(self) -> bool:
+        """Whether no job-carrying exchange is still in flight (open
+        offers awaiting accept/reject, open contests).  Only meaningful
+        after :meth:`begin_quiesce`.  Default: always true."""
+        return True
+
+    def end_quiesce(self) -> None:
+        """Abort a quiesce that timed out: resume opening exchanges and
+        re-examine anything parked while quiescing.  The swap is
+        cancelled; this policy keeps running.  Default: nothing."""
+
+    def export_state(self) -> list[Job]:
+        """Hand over every job this policy still owns (queued, parked,
+        pending contest) so a successor can adopt it.  Called once,
+        after :meth:`quiescent` turns true; the policy is discarded
+        afterwards.  Default: no owned jobs."""
+        return []
+
+    def import_state(self, jobs: list[Job]) -> None:
+        """Adopt jobs exported by a hot-swapped predecessor.  Default:
+        resubmit each through :meth:`on_job`, which is correct for every
+        policy (the jobs are unallocated, exactly like fresh arrivals)."""
+        for job in jobs:
+            self.on_job(job)
+
 
 class WorkerPolicy:
     """Worker-side strategy (one instance per worker per run)."""
+
+    #: Inbound message types the matching *master* policy can leave in
+    #: flight toward workers after it quiesces (e.g. ``NoWork``); a
+    #: successor worker policy installed by a hot-swap tolerates these.
+    stale_inbound: tuple = ()
 
     def __init__(self) -> None:
         self.worker: "WorkerNode" = None  # type: ignore[assignment]

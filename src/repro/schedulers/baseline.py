@@ -61,12 +61,14 @@ class BaselineMasterPolicy(MasterPolicy):
     """FIFO job queue + long-polled pulls + requeue on rejection."""
 
     name = "baseline"
+    stale_inbound = (PullRequest,)
 
     def __init__(self, requeue: str = "front") -> None:
         super().__init__()
         if requeue not in ("front", "back"):
             raise ValueError(f"requeue must be 'front' or 'back', got {requeue!r}")
         self.requeue = requeue
+        self._quiescing = False
         self.job_queue: deque[Job] = deque()
         #: Workers whose pulls arrived while the queue was empty.
         self.parked_pulls: deque[str] = deque()
@@ -148,8 +150,30 @@ class BaselineMasterPolicy(MasterPolicy):
         )
         self._parked_set.discard(worker)
 
+    # -- hot-swap seam ------------------------------------------------------
+
+    def begin_quiesce(self) -> None:
+        """Stop offering: arriving jobs and reclaimed rejects pile up in
+        the queue; ``in_flight`` drains as workers answer open offers."""
+        self._quiescing = True
+
+    def quiescent(self) -> bool:
+        return not self.in_flight
+
+    def end_quiesce(self) -> None:
+        """Quiesce timed out: resume answering the parked pulls."""
+        self._quiescing = False
+        self._match()
+
+    def export_state(self) -> list[Job]:
+        jobs = list(self.job_queue)
+        self.job_queue.clear()
+        return jobs
+
     def _match(self) -> None:
         """Answer parked pulls while jobs are available."""
+        if self._quiescing:
+            return
         while self.job_queue and self.parked_pulls:
             worker = self.parked_pulls.popleft()
             self._parked_set.discard(worker)
@@ -169,6 +193,8 @@ class BaselineWorkerPolicy(WorkerPolicy):
     instead of waiting forever.  ``None`` (the paper's reliable-broker
     assumption) disables it.
     """
+
+    stale_inbound = (NoWork,)
 
     def __init__(
         self, heartbeat_s: float = 1.0, response_timeout_s: Optional[float] = None
@@ -209,6 +235,9 @@ class BaselineWorkerPolicy(WorkerPolicy):
             if not worker.is_idle:
                 yield worker.wait_idle()
             if not worker.alive or worker.draining:
+                return
+            if worker.policy is not self:
+                # Hot-swapped out: the successor runs its own loop.
                 return
             worker.send_to_master(PullRequest(worker=worker.name))
             response = yield from self._await_response()

@@ -34,12 +34,14 @@ class DelayMasterPolicy(MasterPolicy):
     """Skip-counted locality waiting."""
 
     name = "delay"
+    stale_inbound = (PullRequest,)
 
     def __init__(self, max_skips: int = DEFAULT_MAX_SKIPS) -> None:
         super().__init__()
         if max_skips < 0:
             raise ValueError("max_skips must be non-negative")
         self.max_skips = max_skips
+        self._quiescing = False
         self.job_queue = deque()
         self.skips: dict[str, int] = {}
         self.holdings: dict[str, set[str]] = {}
@@ -78,6 +80,10 @@ class DelayMasterPolicy(MasterPolicy):
 
     def on_message(self, message: object) -> bool:
         if isinstance(message, PullRequest):
+            if self._quiescing:
+                # Swallow: the puller is about to be hot-swapped too and
+                # its successor loop will re-pull.
+                return True
             if not self._try_offer(message.worker):
                 if self.job_queue:
                     self.master.send_to_worker(message.worker, NoWork(message.worker))
@@ -170,7 +176,30 @@ class DelayMasterPolicy(MasterPolicy):
         self.master.metrics.offer_made(self.master.sim.now, job, worker)
         self.master.send_to_worker(worker, JobOffer(job=job))
 
+    # -- hot-swap seam ------------------------------------------------------
+
+    def begin_quiesce(self) -> None:
+        """Stop offering; ``in_flight`` drains as open offers are acked."""
+        self._quiescing = True
+
+    def quiescent(self) -> bool:
+        return not self.in_flight
+
+    def end_quiesce(self) -> None:
+        """Quiesce timed out: resume servicing parked pulls."""
+        self._quiescing = False
+        self._service_parked()
+
+    def export_state(self) -> list[Job]:
+        jobs = []
+        while self.job_queue:  # popleft works for deque and LocalityQueue
+            jobs.append(self.job_queue.popleft())
+        self.skips.clear()
+        return jobs
+
     def _service_parked(self) -> None:
+        if self._quiescing:
+            return
         still_parked: deque[str] = deque()
         while self.parked:
             worker = self.parked.popleft()
@@ -193,6 +222,8 @@ class DelayWorkerPolicy(WorkerPolicy):
     for that stall lives in the check tests).  ``None`` -- the paper's
     loss-free default -- waits indefinitely.
     """
+
+    stale_inbound = (NoWork,)
 
     def __init__(
         self,
@@ -239,6 +270,9 @@ class DelayWorkerPolicy(WorkerPolicy):
             if not worker.is_idle:
                 yield worker.wait_idle()
             if not worker.alive or worker.draining:
+                return
+            if worker.policy is not self:
+                # Hot-swapped out: the successor runs its own loop.
                 return
             worker.send_to_master(PullRequest(worker=worker.name))
             response = yield from self._await_response()

@@ -44,9 +44,11 @@ class MatchmakingMasterPolicy(MasterPolicy):
     """Locality-filtered offers on first attempt, forced on the second."""
 
     name = "matchmaking"
+    stale_inbound = (PullRequest,)
 
     def __init__(self) -> None:
         super().__init__()
+        self._quiescing = False
         self.job_queue = deque()
         #: worker -> repos known to be cached there (built from completions).
         self.holdings: dict[str, set[str]] = {}
@@ -86,6 +88,10 @@ class MatchmakingMasterPolicy(MasterPolicy):
 
     def on_message(self, message: object) -> bool:
         if isinstance(message, PullRequest):
+            if self._quiescing:
+                # Swallow: the puller is about to be hot-swapped too and
+                # its successor loop will re-pull.
+                return True
             if not self._try_offer(message.worker, message.attempt):
                 if self.job_queue:
                     # Work exists but none is local on attempt 1: the
@@ -169,8 +175,30 @@ class MatchmakingMasterPolicy(MasterPolicy):
         self.master.metrics.offer_made(self.master.sim.now, job, worker)
         self.master.send_to_worker(worker, JobOffer(job=job))
 
+    # -- hot-swap seam ------------------------------------------------------
+
+    def begin_quiesce(self) -> None:
+        """Stop offering; ``in_flight`` drains as open offers are acked."""
+        self._quiescing = True
+
+    def quiescent(self) -> bool:
+        return not self.in_flight
+
+    def end_quiesce(self) -> None:
+        """Quiesce timed out: resume servicing parked pulls."""
+        self._quiescing = False
+        self._service_parked()
+
+    def export_state(self) -> list[Job]:
+        jobs = []
+        while self.job_queue:  # popleft works for deque and LocalityQueue
+            jobs.append(self.job_queue.popleft())
+        return jobs
+
     def _service_parked(self) -> None:
         """Re-examine parked pulls when new jobs arrive."""
+        if self._quiescing:
+            return
         still_parked: deque[tuple[str, int]] = deque()
         while self.parked:
             worker, attempt = self.parked.popleft()
@@ -193,6 +221,8 @@ class MatchmakingWorkerPolicy(WorkerPolicy):
     that stall lives in the check tests).  ``None`` -- the paper's
     loss-free default -- waits indefinitely.
     """
+
+    stale_inbound = (NoWork,)
 
     def __init__(
         self,
@@ -240,6 +270,9 @@ class MatchmakingWorkerPolicy(WorkerPolicy):
             if not worker.is_idle:
                 yield worker.wait_idle()
             if not worker.alive or worker.draining:
+                return
+            if worker.policy is not self:
+                # Hot-swapped out: the successor runs its own loop.
                 return
             worker.send_to_master(PullRequest(worker=worker.name, attempt=attempt))
             response = yield from self._await_response()

@@ -49,6 +49,16 @@ class AutoscalerConfig:
         active fleet is also at or below this.
     cooldown_s:
         Minimum time between consecutive scaling actions.
+    rebalance:
+        After each scale-up, migrate queued jobs from the most-loaded
+        worker onto the fleet (the new cold node is the least-loaded
+        candidate, so it typically receives them), pre-warming its
+        cache with each migrated job's repository -- cache resharding,
+        so elastic capacity starts doing useful work immediately
+        instead of waiting for the backlog to drain naturally.
+        Requires the service runtime's reconfiguration controller.
+    rebalance_max_jobs:
+        How many queued jobs each rebalance migration may move.
     """
 
     min_workers: int = 1
@@ -58,6 +68,8 @@ class AutoscalerConfig:
     scale_down_backlog: float = 0.5
     scale_down_utilization: float = 0.5
     cooldown_s: float = 60.0
+    rebalance: bool = False
+    rebalance_max_jobs: int = 2
 
     def __post_init__(self) -> None:
         if self.min_workers < 1:
@@ -74,6 +86,8 @@ class AutoscalerConfig:
             raise ValueError("scale_down_utilization must be in [0, 1]")
         if self.cooldown_s < 0:
             raise ValueError("cooldown_s must be non-negative")
+        if self.rebalance_max_jobs < 1:
+            raise ValueError("rebalance_max_jobs must be at least 1")
 
 
 class Autoscaler:
@@ -141,6 +155,7 @@ class Autoscaler:
             self.service.scale_up()
             self.scale_ups += 1
             self._last_action_at = now
+            self._maybe_rebalance()
             return
         if now - self._last_action_at < self.config.cooldown_s:
             return
@@ -149,6 +164,7 @@ class Autoscaler:
             self.service.scale_up()
             self.scale_ups += 1
             self._last_action_at = now
+            self._maybe_rebalance()
         elif (
             signal <= self.config.scale_down_backlog
             and active > self.config.min_workers
@@ -157,3 +173,14 @@ class Autoscaler:
             self.service.scale_down()
             self.scale_downs += 1
             self._last_action_at = now
+
+    def _maybe_rebalance(self) -> None:
+        """Shift queued work (and its data) toward fresh capacity."""
+        if not self.config.rebalance:
+            return
+        controller = getattr(self.service, "reconfig_controller", None)
+        if controller is None:
+            return
+        controller.request_migration(
+            max_jobs=self.config.rebalance_max_jobs, prewarm=True
+        )

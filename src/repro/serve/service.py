@@ -105,6 +105,7 @@ class ServiceRuntime:
         service_config: Optional[ServiceConfig] = None,
         config: Optional[EngineConfig] = None,
         faults: Optional[FaultPlan] = None,
+        reconfig: Optional[object] = None,
     ) -> None:
         self.profile = profile
         self.scheduler = scheduler
@@ -114,6 +115,11 @@ class ServiceRuntime:
         self.service_config = service_config or ServiceConfig()
         self.faults = faults
         self.injector_faults: Optional[FaultInjector] = None
+        #: Live-reconfiguration plan (see :mod:`repro.reconfig`), or
+        #: ``None``; typed loosely to keep the import graph acyclic and
+        #: the plan-free path import-free.
+        self.reconfig = reconfig
+        self.reconfig_controller = None
 
         # The "service" salt keeps service streams decorrelated from a
         # workflow run sharing the same master seed.
@@ -260,6 +266,16 @@ class ServiceRuntime:
                 monitor=self.monitor,
             )
             self.injector_faults.start()
+        wants_rebalance = (
+            self.autoscaler is not None and self.autoscaler.config.rebalance
+        )
+        if (self.reconfig is not None and not self.reconfig.is_trivial) or wants_rebalance:
+            from repro.reconfig.controller import ReconfigController
+            from repro.reconfig.plan import ReconfigPlan
+
+            plan = self.reconfig if self.reconfig is not None else ReconfigPlan()
+            self.reconfig_controller = ReconfigController(self, plan)
+            self.reconfig_controller.start()
         if self.obs is not None:
             self.obs.start()
         self.sim.process(self._injector(), name="service-injector")

@@ -40,8 +40,24 @@ class TestGeneration:
         assert double.scheduler == "planted:double-allocate"
         pipe = generate_scenario(7, planted="overdelivery")
         assert pipe.planted_pipe
+        migrator = generate_scenario(7, planted="buggy-migrator")
+        assert migrator.planted_migrator
+        assert migrator.reconfig is not None and migrator.reconfig.migrations
         with pytest.raises(ValueError):
             generate_scenario(7, planted="no-such-plant")
+
+    def test_reconfig_generation_is_deterministic_and_optional(self):
+        assert generate_scenario(42, reconfig=True) == generate_scenario(
+            42, reconfig=True
+        )
+        # Without the flag (or the migrator plant), no reconfig is drawn.
+        assert generate_scenario(42).reconfig is None
+        # With it, some seeds carry migrations and some carry swaps.
+        plans = [
+            generate_scenario(seed, reconfig=True).reconfig for seed in range(30)
+        ]
+        assert any(plan is not None and plan.migrations for plan in plans)
+        assert any(plan is not None and plan.swaps for plan in plans)
 
 
 class TestRoundTrip:
@@ -49,6 +65,15 @@ class TestRoundTrip:
         for seed in (0, 3, 11):
             scenario = generate_scenario(seed)
             assert Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_json_round_trip_preserves_reconfig(self):
+        for seed in (0, 3, 11):
+            scenario = generate_scenario(seed, reconfig=True)
+            assert Scenario.from_json(scenario.to_json()) == scenario
+        planted = generate_scenario(0, planted="buggy-migrator")
+        restored = Scenario.from_json(planted.to_json())
+        assert restored == planted
+        assert restored.planted_migrator
 
     def test_json_file_round_trip(self, tmp_path):
         scenario = generate_scenario(5)
@@ -75,7 +100,7 @@ class TestReplayDeterminism:
 
 class TestPlantedSelfValidation:
     def test_plants_registry(self):
-        assert set(PLANTS) == {"double-allocate", "overdelivery"}
+        assert set(PLANTS) == {"double-allocate", "overdelivery", "buggy-migrator"}
 
     @pytest.mark.parametrize("plant", sorted(PLANTS))
     def test_planted_bug_is_found_and_shrunk_small(self, plant):
@@ -119,6 +144,19 @@ class TestRegressionSeeds:
             f"seed {seed} regressed: {self.SEEDS[seed]} -- {outcome.message}"
         )
 
+    #: Reconfig-mode regression seeds: drawn with ``reconfig=True``.
+    RECONFIG_SEEDS = {
+        1815: "swapped-in pull scheduler wedged by message loss "
+        "(fuzzer swap liveness guard)",
+    }
+
+    @pytest.mark.parametrize("seed", sorted(RECONFIG_SEEDS))
+    def test_reconfig_regression_seed_is_clean(self, seed):
+        outcome = run_scenario(generate_scenario(seed, reconfig=True))
+        assert outcome.signature is None, (
+            f"seed {seed} regressed: {self.RECONFIG_SEEDS[seed]} -- {outcome.message}"
+        )
+
 
 class TestFuzzLoop:
     def test_short_unplanted_fuzz_is_clean(self):
@@ -130,3 +168,10 @@ class TestFuzzLoop:
     def test_max_scenarios_caps_the_loop(self):
         report = fuzz(budget_s=60.0, seed=0, max_scenarios=3)
         assert report.scenarios_run == 3
+
+    def test_short_reconfig_fuzz_is_clean(self):
+        # Migrations and hot-swaps mixed into every scenario; the CI
+        # fuzz job runs this mode with a much longer budget.
+        report = fuzz(budget_s=5.0, seed=0, reconfig=True)
+        assert report.scenarios_run > 0
+        assert report.ok, [f.signature for f in report.failures]

@@ -21,7 +21,11 @@ from repro.check import (
     InvariantMonitor,
     InvariantViolation,
 )
-from repro.check.planted import make_double_allocate_policy, plant_overdelivering_origin
+from repro.check.planted import (
+    make_double_allocate_policy,
+    plant_buggy_migrator,
+    plant_overdelivering_origin,
+)
 from repro.engine.runtime import EngineConfig, WorkflowRuntime
 from repro.faults import FaultPlan, RecoveryConfig, WorkerCrash
 from repro.net.topology import TopologyConfig
@@ -38,6 +42,8 @@ FAMILIES = {
         "cache-hit-requires-fetch",
         "pipe-no-overdelivery",
         "service-conservation",
+        "migration-conservation",
+        "swap-completeness",
     ),
     "ordering": (
         "no-early-delivery",
@@ -72,7 +78,9 @@ def stream_of(n=10, size=40.0, repos=4):
     )
 
 
-def build_runtime(scheduler=None, check=True, faults=None, shared_origin_mbps=None):
+def build_runtime(
+    scheduler=None, check=True, faults=None, shared_origin_mbps=None, reconfig=None
+):
     policy = (
         scheduler
         if not isinstance(scheduler, str)
@@ -93,6 +101,7 @@ def build_runtime(scheduler=None, check=True, faults=None, shared_origin_mbps=No
             max_sim_time=5000.0,
         ),
         faults=faults,
+        reconfig=reconfig,
     )
 
 
@@ -210,6 +219,21 @@ class TestPlantedBugs:
         assert runtime.monitor is None
         assert result.jobs_completed == 10
 
+    def test_buggy_migrator_is_caught(self):
+        # The job-dropping migrator loses the first checkpointed job;
+        # the conservation law must fire when the migration settles.
+        from repro.reconfig import JobMigration, ReconfigPlan
+
+        plan = ReconfigPlan(
+            migrations=(JobMigration(at_s=1.0, max_jobs=2, include_running=True),)
+        )
+        runtime = build_runtime("bidding", reconfig=plan)
+        plant_buggy_migrator(runtime)
+        with pytest.raises(InvariantViolation) as caught:
+            runtime.run()
+        assert caught.value.invariant.name == "migration-conservation"
+        assert caught.value.events
+
     def test_double_allocate_without_monitors_escapes_to_the_coarse_guard(self):
         # Without the monitor the double allocation survives until both
         # executions finish, where the master's last-resort duplicate
@@ -252,6 +276,49 @@ class TestUnitViolations:
         with pytest.raises(InvariantViolation) as caught:
             monitor.on_transfer_complete(10.0, 100.0, 1.0, now=1.0)
         assert caught.value.invariant.name == "pipe-no-overdelivery"
+
+    def test_migration_settle_with_dangling_job_is_loss(self):
+        monitor = InvariantMonitor()
+        monitor.on_migration_checkpoint("j1", "w1", now=1.0)
+        monitor.on_migration_rebind("j1", "w1", "w2", now=1.5)
+        monitor.on_migration_checkpoint("j2", "w1", now=2.0)  # never rebound
+        with pytest.raises(InvariantViolation) as caught:
+            monitor.on_migration_settled(now=3.0)
+        assert caught.value.invariant.name == "migration-conservation"
+        assert "j2" in str(caught.value)
+
+    def test_migration_rebind_without_checkpoint_is_duplication(self):
+        monitor = InvariantMonitor()
+        with pytest.raises(InvariantViolation) as caught:
+            monitor.on_migration_rebind("j1", "w1", "w2", now=1.0)
+        assert caught.value.invariant.name == "migration-conservation"
+
+    def test_migration_dangling_at_end_of_run_is_loss(self):
+        monitor = InvariantMonitor()
+        monitor.on_migration_checkpoint("j1", "w1", now=1.0)
+        with pytest.raises(InvariantViolation) as caught:
+            monitor.final_check()
+        assert caught.value.invariant.name == "migration-conservation"
+
+    def test_clean_migration_satisfies_conservation(self):
+        monitor = InvariantMonitor()
+        monitor.on_migration_checkpoint("j1", "w1", now=1.0)
+        monitor.on_migration_rebind("j1", "w1", "w2", now=1.5)
+        monitor.on_migration_settled(now=2.0)  # no raise
+        monitor.final_check()  # no raise
+
+    def test_swap_import_missing_jobs_is_incomplete(self):
+        monitor = InvariantMonitor()
+        monitor.on_swap_export(["j1", "j2", "j3"], "bidding", now=5.0)
+        with pytest.raises(InvariantViolation) as caught:
+            monitor.on_swap_import(["j1", "j3"], "baseline", now=5.0)
+        assert caught.value.invariant.name == "swap-completeness"
+        assert "j2" in str(caught.value)
+
+    def test_swap_import_covering_export_is_complete(self):
+        monitor = InvariantMonitor()
+        monitor.on_swap_export(["j1", "j2"], "bidding", now=5.0)
+        monitor.on_swap_import(["j1", "j2"], "baseline", now=5.0)  # no raise
 
     def test_disable_silences_exactly_the_named_law(self):
         monitor = InvariantMonitor(CheckConfig(disable=("delivery-requires-publish",)))
