@@ -26,6 +26,12 @@ Subcommands map one-to-one onto the experiment modules::
     repro trace --timeline     # ASCII timeline + probe sparklines instead
     repro run --trace-out run.json
                                # any single cell, with the span trace exported
+    repro explain              # critical-path summary of one traced cell
+    repro explain --job J      # why job J landed where it did (decision ledger)
+    repro explain --save A.json
+                               # persist the explain document for diffing
+    repro explain --diff A.json B.json
+                               # where the makespan moved between two runs
 
 ``run`` and ``serve`` accept ``--faults`` with an inline JSON
 :class:`~repro.faults.FaultPlan` or ``@path/to/plan.json``, and
@@ -299,6 +305,62 @@ def _build_parser() -> argparse.ArgumentParser:
         "--interval", type=float, default=1.0, help="probe cadence in simulated seconds"
     )
     _add_faults_flag(trace_cmd)
+
+    explain_cmd = sub.add_parser(
+        "explain",
+        help="critical-path attribution + decision ledger for one traced cell, "
+        "or --diff two saved explain documents",
+    )
+    explain_cmd.add_argument(
+        "--scheduler", choices=sorted(SCHEDULERS), default="bidding"
+    )
+    explain_cmd.add_argument(
+        "--workload",
+        choices=sorted(set(JOB_CONFIG_NAMES) | {"all_small_strict", "zipf"}),
+        default="80%_small",
+    )
+    explain_cmd.add_argument(
+        "--profile", choices=sorted(PROFILE_NAMES), default="fast-slow"
+    )
+    explain_cmd.add_argument("--seed", type=int, default=7)
+    explain_cmd.add_argument(
+        "--iterations",
+        type=int,
+        default=1,
+        help="cell iterations; the last one is explained",
+    )
+    explain_cmd.add_argument(
+        "--job",
+        metavar="JOB_ID",
+        default=None,
+        help="explain one job's allocation decision instead of the whole run",
+    )
+    explain_cmd.add_argument(
+        "--save",
+        metavar="FILE",
+        default=None,
+        help="write the explain document (JSON) for later --diff",
+    )
+    explain_cmd.add_argument(
+        "--csv",
+        metavar="FILE",
+        default=None,
+        help="write the critical chain as per-job CSV rows",
+    )
+    explain_cmd.add_argument(
+        "--perfetto",
+        metavar="FILE",
+        default=None,
+        help="Perfetto export with an extra critical-path track",
+    )
+    explain_cmd.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A.json", "B.json"),
+        default=None,
+        help="compare two saved explain documents instead of running a cell",
+    )
+    _add_faults_flag(explain_cmd)
 
     fuzzer = sub.add_parser(
         "fuzz",
@@ -698,6 +760,87 @@ def _run_trace(args: argparse.Namespace) -> None:
         print(render_attribution(attribute(trace, spans, result.makespan_s)))
 
 
+def _run_explain(args: argparse.Namespace) -> int:
+    from repro.obs import (
+        ObsConfig,
+        critical_path,
+        diff_runs,
+        explain_document,
+        explain_job,
+        load_explain,
+        render_critical_path,
+        render_diff,
+        write_explain,
+    )
+
+    if args.diff is not None:
+        path_a, path_b = args.diff
+        doc_a = load_explain(path_a)
+        doc_b = load_explain(path_b)
+        diff = diff_runs(doc_a, doc_b, label_a=path_a, label_b=path_b)
+        print(render_diff(diff))
+        return 0
+
+    spec = CellSpec(
+        scheduler=args.scheduler,
+        workload=args.workload,
+        profile=args.profile,
+        seed=args.seed,
+        iterations=args.iterations,
+        faults=_parse_faults(args.faults),
+        engine_overrides=(("trace", True), ("obs", ObsConfig())),
+    )
+    results, runtime = run_cell_observed(spec)
+    result = results[-1]
+    trace = runtime.metrics.trace
+    ledger = runtime.obs.ledger
+    critical = critical_path(trace)
+    if critical is None:
+        print("no completed job in the trace; nothing to explain", file=sys.stderr)
+        return 1
+    document = explain_document(
+        trace,
+        ledger=ledger,
+        meta={
+            "scheduler": args.scheduler,
+            "workload": args.workload,
+            "profile": args.profile,
+            "seed": args.seed,
+        },
+    )
+    print(
+        f"{args.scheduler} on {args.workload} / {args.profile} (seed {args.seed}): "
+        f"{result.jobs_completed} jobs, makespan {result.makespan_s:.1f}s, "
+        f"{len(ledger.records) if ledger else 0} allocation decisions recorded"
+    )
+    print()
+    if args.job is not None:
+        print(explain_job(document, args.job))
+    else:
+        print(render_critical_path(critical))
+    if args.save:
+        write_explain(args.save, document)
+        print(f"\nexplain document written to {args.save}")
+    if args.csv:
+        from repro.obs import write_critical_path_csv
+
+        write_critical_path_csv(args.csv, critical)
+        print(f"critical chain written to {args.csv}")
+    if args.perfetto:
+        from repro.obs import build_spans, write_perfetto
+
+        write_perfetto(
+            args.perfetto,
+            trace,
+            spans=build_spans(trace),
+            probes=runtime.obs.probes,
+            flows=runtime.obs.flows,
+            critical=critical,
+        )
+        print(f"Perfetto trace (with critical-path track) written to {args.perfetto}")
+    return 0
+
+
 def _run_serve(args: argparse.Namespace) -> None:
     from repro.cluster.profiles import profile_by_name
     from repro.engine.runtime import EngineConfig
@@ -944,6 +1087,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         _maybe_profiled(args, lambda: _run_single(args))
     elif args.command == "trace":
         _run_trace(args)
+    elif args.command == "explain":
+        return _run_explain(args)
     elif args.command == "fuzz":
         return _run_fuzz(args)
     elif args.command == "bench":

@@ -147,6 +147,48 @@ class BiddingMasterPolicy(MasterPolicy):
         for contest in self.contests.values():
             contest.exclude(worker)
 
+    def decision_context(self, job: Job, worker: str) -> tuple:
+        """Ledger: the closed contest's bids are the candidate scores."""
+        from repro.obs.ledger import CandidateScore
+
+        contest = self.contests.get(job.job_id)
+        if contest is None or worker not in contest.bids:
+            # Zero-bid window: the master picked an arbitrary worker.
+            bids = [] if contest is None else list(contest.bids.values())
+            candidates = tuple(
+                CandidateScore(worker=bid.worker, score=bid.cost_s)
+                for bid in sorted(bids, key=lambda bid: (bid.cost_s, bid.worker))
+            )
+            return ("fallback", candidates, None, "no usable bids; arbitrary pick")
+        ranked = sorted(
+            contest.bids.values(), key=lambda bid: (bid.cost_s, bid.worker)
+        )
+        candidates = tuple(
+            CandidateScore(
+                worker=bid.worker,
+                score=bid.cost_s,
+                local=bid.breakdown[1] == 0.0,
+                detail=(
+                    f"workload={bid.breakdown[0]:.3f}s "
+                    f"transfer={bid.breakdown[1]:.3f}s "
+                    f"processing={bid.breakdown[2]:.3f}s"
+                ),
+            )
+            for bid in ranked
+        )
+        runner_up = ranked[1].worker if len(ranked) > 1 else None
+        chosen = contest.bids[worker]
+        reason = f"lowest bid of {len(ranked)} ({chosen.cost_s:.3f} s)"
+        if runner_up is not None:
+            beaten = contest.bids[runner_up]
+            saved = beaten.breakdown[1] - chosen.breakdown[1]
+            if chosen.breakdown[1] == 0.0 and saved > 0 and job.repo_id:
+                reason += (
+                    f"; cache hit on repo {job.repo_id} saved "
+                    f"est. {saved:.1f} s transfer vs {runner_up}"
+                )
+        return ("contest", candidates, runner_up, reason)
+
     # -- hot-swap seam ------------------------------------------------------
 
     def begin_quiesce(self) -> None:

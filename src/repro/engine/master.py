@@ -215,6 +215,10 @@ class Master:
         self.metrics.job_assigned(self.sim.now, job, worker)
         if self.monitor is not None:
             self.monitor.on_assigned(job.job_id, worker, self.sim.now)
+        if self.obs is not None and self.obs.ledger is not None:
+            # Observation-only: the ledger reads policy/fleet state and
+            # draws no randomness, so it cannot perturb the run.
+            self.obs.ledger.note(self, job, worker, self.sim.now)
         for listener in self.assignment_listeners:
             listener(job, worker, self.sim.now)
 

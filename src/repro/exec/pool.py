@@ -228,6 +228,13 @@ class ExecBackend:
             self.monitor.recovery_enabled = True
             self.metrics.monitor = self.monitor
 
+        from repro.obs.ledger import DecisionLedger
+
+        #: Wall-clock decision ledger (parity with the sim master's):
+        #: one record per ``_bind``, timestamped with the backend clock.
+        #: Gated with the trace knob -- both are the run's observability.
+        self.ledger = DecisionLedger() if self.config.trace else None
+
         self.workers: dict[str, _WorkerState] = {}
         self.admitted = 0
         self.completed = 0
@@ -466,8 +473,49 @@ class ExecBackend:
             self.monitor.on_assigned(job.job_id, worker, now)
         self.metrics.job_assigned(now, job.to_job(), worker)
         self.assigned_log.append((job.job_id, worker, redispatch))
+        if self.ledger is not None:
+            self._ledger_note(job, worker, now, redispatch)
         state.ready.append(job)
         self._pump(state)
+
+    def _ledger_note(
+        self, job: PlanJob, worker: str, now: float, redispatch: bool
+    ) -> None:
+        """Wall-clock :class:`~repro.obs.ledger.DecisionRecord` parity
+        with the sim master's seam: candidates are the live worker
+        states (queue depth = outstanding, locality from the coordinator
+        cache mirror)."""
+        from repro.obs.ledger import CandidateScore, DecisionRecord
+
+        candidates = tuple(
+            CandidateScore(
+                worker=state.name,
+                local=(
+                    job.repo_id is None or bool(state.cache.peek(job.repo_id))
+                ),
+                queue_depth=state.outstanding,
+                detail=None if state.alive else "dead",
+            )
+            for state in self.workers.values()
+        )
+        self.ledger.append(
+            DecisionRecord(
+                seq=len(self.ledger.records),
+                time=now,
+                job_id=job.job_id,
+                repo_id=job.repo_id,
+                worker=worker,
+                policy="exec",
+                kind="redispatch" if redispatch else "replay",
+                candidates=candidates,
+                runner_up=None,
+                reason=(
+                    "re-dispatched after worker loss (locality-aware rebind)"
+                    if redispatch
+                    else "replayed the captured plan decision"
+                ),
+            )
+        )
 
     def _pump(self, state: _WorkerState) -> None:
         """Move ready -> processing -> wire, respecting the in-flight cap.

@@ -1,6 +1,6 @@
 """One home for every golden fixture: record, re-record, drift-gate.
 
-The repository pins two behavioural recordings:
+The repository pins these behavioural recordings:
 
 ``determinism``
     per-scheduler metrics of a fixed cell (``tests/golden_determinism
@@ -9,7 +9,15 @@ The repository pins two behavioural recordings:
 ``perfetto``
     the exact Perfetto ``trace_event`` JSON of a fixed-seed two-worker
     run (``tests/golden_perfetto.json``) -- any change to span
-    construction, track layout or exporter formatting shows up here.
+    construction, track layout or exporter formatting shows up here;
+``critical_path``
+    the critical-path attribution and full decision ledger of the same
+    cell (``tests/golden_critical_path.json``) -- any change to the
+    chain recovery, category tiling or per-scheduler decision context
+    shows up here;
+``reconfig``
+    metrics plus the migrate/swap event sequence of a pinned
+    live-reconfiguration run (``tests/golden_reconfig.json``).
 
 Both used to carry their own regen script with its own ``--check``
 mode; this module is the single implementation behind them and behind
@@ -153,6 +161,56 @@ def explain_perfetto_drift(committed: dict, current: dict) -> list[str]:
     return lines
 
 
+# -- critical-path fixture --------------------------------------------------
+
+
+def record_critical_path() -> dict:
+    """Critical-path attribution + decision summary of the perfetto cell.
+
+    Rides on :func:`golden_runtime` (same fleet, jobs and seed as the
+    perfetto fixture), so the two recordings drift together: a change
+    that moves spans but not the chain -- or vice versa -- is visible as
+    exactly one fixture failing.
+    """
+    from repro.obs import critical_path
+
+    runtime = golden_runtime()
+    runtime.run()
+    path = critical_path(runtime.metrics.trace)
+    assert path is not None, "golden cell must complete at least one job"
+    ledger = runtime.obs.ledger
+    return {
+        "makespan_s": path.makespan,
+        "chain": list(path.chain),
+        "categories": {name: value for name, value in sorted(path.categories.items())},
+        "slack": {job_id: value for job_id, value in sorted(path.slack.items())},
+        "decisions": ledger.to_dicts() if ledger is not None else [],
+    }
+
+
+def explain_critical_path_drift(committed: dict, current: dict) -> list[str]:
+    lines = []
+    for key in ("makespan_s", "chain", "categories", "slack"):
+        was, now = committed.get(key), current.get(key)
+        if was != now:
+            lines.append(f"  {key}:")
+            lines.append(f"    committed: {json.dumps(was, sort_keys=True)}")
+            lines.append(f"    current:   {json.dumps(now, sort_keys=True)}")
+    was_decisions = committed.get("decisions", [])
+    now_decisions = current.get("decisions", [])
+    if was_decisions != now_decisions:
+        lines.append(
+            f"  {len(was_decisions)} committed decisions vs {len(now_decisions)} current"
+        )
+        for index, (a, b) in enumerate(zip(was_decisions, now_decisions)):
+            if a != b:
+                lines.append(f"  first differing decision [{index}]:")
+                lines.append(f"    committed: {json.dumps(a, sort_keys=True)}")
+                lines.append(f"    current:   {json.dumps(b, sort_keys=True)}")
+                break
+    return lines
+
+
 # -- reconfig fixture -------------------------------------------------------
 
 RECONFIG_SEED = 3
@@ -276,6 +334,13 @@ FIXTURES: dict[str, GoldenFixture] = {
         indent=1,
         record=record_perfetto,
         explain_drift=explain_perfetto_drift,
+    ),
+    "critical_path": GoldenFixture(
+        name="critical_path",
+        filename="golden_critical_path.json",
+        indent=2,
+        record=record_critical_path,
+        explain_drift=explain_critical_path_drift,
     ),
     "reconfig": GoldenFixture(
         name="reconfig",

@@ -266,12 +266,25 @@ class ObsInputs:
     coverage_completed: int
     attribution: object  # repro.obs.Attribution
     timeline: str
+    #: repro.obs.CriticalPath (None when the run produced no completion).
+    critical: object = None
+    #: repro explain-style ASCII rendering of ``critical``.
+    critical_text: str = ""
+    #: Number of DecisionRecords the ledger captured for the cell.
+    decisions: int = 0
 
 
 def run_obs(seed: int = 11) -> ObsInputs:
     """Run one small fixed-seed cell with tracing on and summarise it."""
     from repro.experiments.runner import CellSpec, run_cell_observed
-    from repro.obs import attribute, build_spans, render_timeline, span_coverage
+    from repro.obs import (
+        attribute,
+        build_spans,
+        critical_path,
+        render_critical_path,
+        render_timeline,
+        span_coverage,
+    )
 
     spec = CellSpec(
         scheduler="bidding",
@@ -286,6 +299,8 @@ def run_obs(seed: int = 11) -> ObsInputs:
     trace = runtime.metrics.trace
     spans = build_spans(trace)
     coverage = span_coverage(trace, spans)
+    critical = critical_path(trace)
+    ledger = getattr(runtime.obs, "ledger", None)
     return ObsInputs(
         scheduler=spec.scheduler,
         workload=spec.workload,
@@ -303,6 +318,9 @@ def run_obs(seed: int = 11) -> ObsInputs:
             probes=runtime.obs.probes,
             title=f"{spec.scheduler} / {spec.workload} / {spec.profile}",
         ),
+        critical=critical,
+        critical_text=render_critical_path(critical) if critical else "",
+        decisions=len(ledger.records) if ledger is not None else 0,
     )
 
 
@@ -338,6 +356,37 @@ def obs_section(obs: ObsInputs) -> str:
         "<h3>Timeline</h3>"
         f'<pre style="font-size:.78rem;line-height:1.25">'
         f"{html.escape(obs.timeline)}</pre>"
+        + _critical_subsection(obs)
+    )
+
+
+def _critical_subsection(obs: ObsInputs) -> str:
+    """Critical-path attribution + decision ledger summary (if traced)."""
+    from repro.obs import CATEGORIES
+
+    if obs.critical is None:
+        return ""
+    critical = obs.critical
+    rows = [
+        [
+            name,
+            f"{critical.categories.get(name, 0.0):.2f}",
+            f"{critical.categories.get(name, 0.0) / critical.makespan:.1%}"
+            if critical.makespan > 0
+            else "0.0%",
+        ]
+        for name in CATEGORIES
+    ]
+    return (
+        "<h3>Critical path</h3>"
+        f'<p class="note">{len(critical.chain)} chained jobs set the '
+        f"{critical.makespan:.1f}s makespan; {obs.decisions} allocation "
+        "decisions recorded in the ledger. Regenerate with "
+        "<code>repro explain</code>; compare runs with "
+        "<code>repro explain --diff A.json B.json</code>.</p>"
+        + _table(["category", "seconds", "share of makespan"], rows)
+        + '<pre style="font-size:.78rem;line-height:1.25">'
+        f"{html.escape(obs.critical_text)}</pre>"
     )
 
 

@@ -360,6 +360,35 @@ class FleetState:
         """Queue depths of ``slots`` -- one gather for the probe group."""
         return self.queued[slots]
 
+    def candidate_snapshot(
+        self, names: list, repo_id: Optional[str] = None
+    ) -> list[tuple]:
+        """Read-only per-candidate facts for the decision ledger.
+
+        Returns ``(name, queued, outstanding, holds_repo, link_busy)``
+        per name; ``holds_repo`` is against the *live* cache plane
+        (``True`` for repo-less jobs), and names the mirror has never
+        seen yield all-``None`` facts.  Pure gathers -- no plane is
+        touched, so ledger-on runs stay bit-identical to ledger-off.
+        """
+        rows: list[tuple] = []
+        for name in names:
+            slot = self.slots.get(name)
+            if slot is None:
+                rows.append((name, None, None, None, None))
+                continue
+            holds = True if repo_id is None else self.cache.test(slot, repo_id)
+            rows.append(
+                (
+                    name,
+                    int(self.queued[slot]),
+                    int(self.outstanding[slot]),
+                    bool(holds),
+                    bool(self.link_busy[slot]),
+                )
+            )
+        return rows
+
     def busy_values(self, slots: np.ndarray) -> np.ndarray:
         """0/1 busy flags of ``slots`` -- one gather for the probe group."""
         return (self.alive[slots] & (self.outstanding[slots] > 0)).astype(np.int64)

@@ -165,7 +165,22 @@ class Trace:
         return [event for event in self.events if event.kind == kind]
 
     def for_job(self, job_id: str) -> list[TraceEvent]:
-        """The full lifecycle of one job."""
+        """The full lifecycle of one job.
+
+        Served from a lazily built per-job index with an incremental
+        watermark.  The invalidation contract:
+
+        * events appended through :meth:`record` (or directly to
+          ``events``) after a query are picked up on the next call --
+          only the suffix past the watermark is scanned;
+        * *truncating* ``events`` (e.g. replacing it with a prefix) is
+          detected -- the watermark overshoots and the index rebuilds;
+        * replacing or reordering events **in place at the same or
+          greater length** is NOT detected: the index still holds the
+          old objects.  Post-hoc trace surgery of that shape must reset
+          ``_by_job = None`` (or truncate first, then re-append) to
+          force a rebuild.
+        """
         return list(self._index().get(job_id, ()))
 
     def first(self, kind: str, job_id: str) -> Optional[TraceEvent]:

@@ -16,7 +16,16 @@
 * :mod:`repro.obs.export` -- Chrome/Perfetto ``trace_event`` JSON and
   CSV/JSON time-series dumps,
 * :mod:`repro.obs.timeline` / :mod:`repro.obs.attribution` -- terminal
-  timeline view and the flamegraph-style time-attribution table.
+  timeline view and the flamegraph-style time-attribution table,
+* :mod:`repro.obs.ledger` -- one :class:`DecisionRecord` per allocation
+  (per-candidate scores, locality, runner-up, human-readable reason),
+  emitted at the master's single assignment seam for all schedulers,
+* :mod:`repro.obs.critical_path` -- post-hoc makespan attribution: the
+  chain of jobs that set the makespan, tiled into categories
+  (schedule/contest/queue/transfer/execute/recovery) with per-job slack,
+* :mod:`repro.obs.explain` -- the ``repro explain`` document: JSON
+  dump/load, per-job narration and the run-diff explainer that reports
+  where time moved between two runs and which decisions diverged.
 
 Overhead contract: with ``obs`` off (the default for experiments) every
 hook site is a ``None`` check and runs are bit-identical to builds
@@ -26,12 +35,39 @@ exactly -- only extra timer events for probe sampling are added.
 """
 
 from repro.obs.attribution import Attribution, AttributionRow, attribute, render_attribution
+from repro.obs.critical_path import (
+    CATEGORIES,
+    CriticalPath,
+    JobBreakdown,
+    critical_path,
+    job_breakdown,
+    render_critical_path,
+)
+from repro.obs.explain import (
+    EXPLAIN_SCHEMA,
+    DiffFinding,
+    RunDiff,
+    diff_runs,
+    explain_document,
+    explain_job,
+    load_explain,
+    render_diff,
+    write_explain,
+)
 from repro.obs.export import (
+    critical_path_rows,
     perfetto_trace,
     timeseries_rows,
+    write_critical_path_csv,
     write_perfetto,
     write_timeseries_csv,
     write_timeseries_json,
+)
+from repro.obs.ledger import (
+    CandidateScore,
+    DecisionLedger,
+    DecisionRecord,
+    fleet_candidates,
 )
 from repro.obs.probes import Probe, ProbeRegistry, busy_fraction
 from repro.obs.recorder import FlowRecord, ObsConfig, ObsRecorder, as_obs_config
@@ -48,12 +84,21 @@ from repro.obs.timeline import render_timeline
 __all__ = [
     "Attribution",
     "AttributionRow",
+    "CATEGORIES",
+    "CandidateScore",
+    "CriticalPath",
+    "DecisionLedger",
+    "DecisionRecord",
+    "DiffFinding",
+    "EXPLAIN_SCHEMA",
     "FLEET",
     "FlowRecord",
+    "JobBreakdown",
     "ObsConfig",
     "ObsRecorder",
     "Probe",
     "ProbeRegistry",
+    "RunDiff",
     "Span",
     "SpanContext",
     "SpanCoverage",
@@ -61,11 +106,22 @@ __all__ = [
     "attribute",
     "build_spans",
     "busy_fraction",
+    "critical_path",
+    "critical_path_rows",
+    "diff_runs",
+    "explain_document",
+    "explain_job",
+    "fleet_candidates",
+    "job_breakdown",
+    "load_explain",
     "perfetto_trace",
     "render_attribution",
+    "render_critical_path",
+    "render_diff",
     "render_timeline",
     "span_coverage",
     "timeseries_rows",
+    "write_critical_path_csv",
     "write_perfetto",
     "write_timeseries_csv",
     "write_timeseries_json",

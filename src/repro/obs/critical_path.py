@@ -1,0 +1,303 @@
+"""Critical-path attribution: where the makespan actually went.
+
+The span tree (:mod:`repro.obs.spans`) shows each job's lifecycle; this
+module answers the run-level question: which *chain* of jobs set the
+makespan, and how does that chain's time split between scheduling,
+contests, queueing, data transfer, compute and recovery.
+
+Per-job segmentation
+--------------------
+A job's interval ``[submitted, finished]`` is tiled exactly by walking
+its trace events as a state machine:
+
+* ``submitted -> assigned``   **schedule** (minus any overlap with the
+  job's ``announced -> contest_closed`` window, which is **contest**)
+* ``assigned -> started``     **queue** (offer/assignment in flight,
+  waiting in the worker FIFO)
+* ``started -> completed``    the run window, split into **transfer**
+  (the merged ``download_started -> download_finished`` sub-windows)
+  and **execute** (the remainder)
+* ``orphaned -> redispatched``  **recovery** (then back to schedule)
+
+Because the segments are carved from one contiguous interval, the
+category totals of a job sum to its latency *exactly* -- no clamping,
+no double counting.
+
+The whole-run chain
+-------------------
+Children are submitted at the instant their parent completes
+(``Master._on_completed`` expands the pipeline before completing the
+parent), so the critical chain is recovered backwards from the
+last-completing job: the predecessor of a job submitted at time ``t``
+is the job that completed at ``t``.  The gap from run start to the
+chain's first submission is attributed to **arrival** (source-stream
+pacing).  Chain categories therefore tile ``[start, start+makespan]``
+exactly, which is what lets the run-diff explainer report per-category
+deltas that sum to the true makespan difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.metrics.trace import Trace
+
+#: Attribution categories, in reporting order.
+CATEGORIES = (
+    "arrival",
+    "schedule",
+    "contest",
+    "queue",
+    "transfer",
+    "execute",
+    "recovery",
+)
+
+#: Time-equality tolerance when matching a child's submission to its
+#: parent's completion (both are the same sim instant).
+_TIE = 1e-9
+
+
+@dataclass(frozen=True)
+class JobBreakdown:
+    """One job's latency, tiled into categories."""
+
+    job_id: str
+    submitted: float
+    finished: float
+    worker: Optional[str]
+    #: category -> seconds; values sum to ``finished - submitted``.
+    categories: dict
+
+    @property
+    def latency(self) -> float:
+        return self.finished - self.submitted
+
+
+@dataclass(frozen=True)
+class CriticalPath:
+    """The chain of jobs that set the makespan, with attribution."""
+
+    #: Run start (time of the first trace event).
+    start: float
+    #: End of the chain minus :attr:`start`.
+    makespan: float
+    #: Job ids on the chain, in time order (first submitted first).
+    chain: tuple[str, ...]
+    #: category -> seconds over the whole chain (plus the arrival gap);
+    #: sums to :attr:`makespan` exactly.
+    categories: dict
+    #: Per-chain-job breakdowns, same order as :attr:`chain`.
+    breakdowns: tuple[JobBreakdown, ...]
+    #: job_id -> seconds between the job's completion and the end of
+    #: the run, for every completed job (0.0 for the chain's last job).
+    slack: dict
+
+
+def _merge_windows(windows: list) -> list:
+    """Merge possibly-overlapping (start, end) windows."""
+    if not windows:
+        return []
+    windows = sorted(windows)
+    merged = [list(windows[0])]
+    for lo, hi in windows[1:]:
+        if lo <= merged[-1][1]:
+            merged[-1][1] = max(merged[-1][1], hi)
+        else:
+            merged.append([lo, hi])
+    return [(lo, hi) for lo, hi in merged]
+
+
+def _overlap(lo: float, hi: float, windows: list) -> float:
+    """Total overlap of [lo, hi] with merged ``windows``."""
+    total = 0.0
+    for wlo, whi in windows:
+        total += max(0.0, min(hi, whi) - max(lo, wlo))
+    return total
+
+
+def job_breakdown(trace: Trace, job_id: str) -> Optional[JobBreakdown]:
+    """Tile one job's ``[submitted, finished]`` into categories.
+
+    Returns ``None`` when the job never reached a terminal event
+    (``completed`` or ``failed``) or was never submitted.
+    """
+    events = trace.for_job(job_id)
+    submitted = finished = None
+    worker = None
+    # Sub-windows carved out of the segments they overlap.
+    contests: list = []
+    downloads: list = []
+    open_contest = open_download = None
+    # State-machine segments: (category, start, end).
+    segments: list = []
+    state: Optional[str] = None
+    mark = 0.0
+    for event in events:
+        kind = event.kind
+        if kind == "submitted":
+            if submitted is None:
+                submitted = event.time
+                state, mark = "schedule", event.time
+        elif kind == "announced":
+            open_contest = event.time
+        elif kind == "contest_closed":
+            if open_contest is not None:
+                contests.append((open_contest, event.time))
+                open_contest = None
+        elif kind == "assigned":
+            if state == "schedule":
+                segments.append(("schedule", mark, event.time))
+                state, mark = "queue", event.time
+            worker = event.worker
+        elif kind == "started":
+            if state == "queue":
+                segments.append(("queue", mark, event.time))
+                state, mark = "run", event.time
+        elif kind == "download_started":
+            open_download = event.time
+        elif kind == "download_finished":
+            if open_download is not None:
+                downloads.append((open_download, event.time))
+                open_download = None
+        elif kind == "orphaned":
+            if state is not None:
+                segments.append((state, mark, event.time))
+            state, mark = "recovery", event.time
+        elif kind == "redispatched":
+            if state == "recovery":
+                segments.append(("recovery", mark, event.time))
+            state, mark = "schedule", event.time
+        elif kind in ("completed", "failed"):
+            if finished is None:
+                finished = event.time
+                if state is not None:
+                    segments.append((state, mark, event.time))
+                state = None
+                if kind == "completed" and event.worker is not None:
+                    worker = event.worker
+    if submitted is None or finished is None:
+        return None
+
+    contests = _merge_windows(contests)
+    downloads = _merge_windows(downloads)
+    categories = {name: 0.0 for name in CATEGORIES if name != "arrival"}
+    for category, lo, hi in segments:
+        span = hi - lo
+        if category == "schedule":
+            contest_s = _overlap(lo, hi, contests)
+            categories["contest"] += contest_s
+            categories["schedule"] += span - contest_s
+        elif category == "run":
+            transfer_s = _overlap(lo, hi, downloads)
+            categories["transfer"] += transfer_s
+            categories["execute"] += span - transfer_s
+        else:
+            categories[category] += span
+    return JobBreakdown(job_id, submitted, finished, worker, categories)
+
+
+def critical_path(trace: Trace) -> Optional[CriticalPath]:
+    """Recover the makespan-setting chain and attribute its time.
+
+    Returns ``None`` for a trace with no completed job.
+    """
+    if not trace.events:
+        return None
+    start = trace.events[0].time
+    completions: dict[str, float] = {}
+    for event in trace.events:
+        if event.kind == "completed" and event.job_id not in completions:
+            completions[event.job_id] = event.time
+    if not completions:
+        return None
+
+    # The chain's tail: the last completion (ties broken by job id so
+    # the fixture is stable across dict-order accidents).
+    tail = max(completions, key=lambda job_id: (completions[job_id], job_id))
+    end = completions[tail]
+
+    # completion time -> job ids, for the backward predecessor walk.
+    by_finish: dict[float, list] = {}
+    for job_id, at in completions.items():
+        by_finish.setdefault(at, []).append(job_id)
+    for bucket in by_finish.values():
+        bucket.sort()
+
+    chain_ids: list = []
+    breakdowns: list = []
+    current: Optional[str] = tail
+    seen: set = set()
+    while current is not None and current not in seen:
+        seen.add(current)
+        breakdown = job_breakdown(trace, current)
+        if breakdown is None:
+            break
+        chain_ids.append(current)
+        breakdowns.append(breakdown)
+        predecessor = None
+        for at, bucket in by_finish.items():
+            if abs(at - breakdown.submitted) <= _TIE:
+                for job_id in bucket:
+                    if job_id not in seen:
+                        predecessor = job_id
+                        break
+                break
+        current = predecessor
+    chain_ids.reverse()
+    breakdowns.reverse()
+
+    categories = {name: 0.0 for name in CATEGORIES}
+    categories["arrival"] = breakdowns[0].submitted - start if breakdowns else end - start
+    for breakdown in breakdowns:
+        for name, value in breakdown.categories.items():
+            categories[name] += value
+
+    slack = {job_id: end - at for job_id, at in completions.items()}
+    return CriticalPath(
+        start=start,
+        makespan=end - start,
+        chain=tuple(chain_ids),
+        categories=categories,
+        breakdowns=tuple(breakdowns),
+        slack=slack,
+    )
+
+
+def render_critical_path(path: CriticalPath, width: int = 34) -> str:
+    """ASCII summary: category bars plus the chain itself."""
+    lines = [
+        f"critical path ({len(path.chain)} jobs, "
+        f"makespan {path.makespan:.1f} s)"
+    ]
+    top = max(path.categories.values(), default=0.0)
+    for name in CATEGORIES:
+        value = path.categories.get(name, 0.0)
+        bar = ""
+        if top > 0 and value > 0:
+            bar = "#" * max(1, round(value / top * width))
+        share = value / path.makespan if path.makespan > 0 else 0.0
+        lines.append(f"{name:<10} {value:>10.2f} s  {share:>6.1%}  {bar}")
+    lines.append("chain:")
+    for breakdown in path.breakdowns:
+        dominant = max(
+            breakdown.categories, key=lambda name: breakdown.categories[name]
+        )
+        where = f" on {breakdown.worker}" if breakdown.worker else ""
+        lines.append(
+            f"  {breakdown.job_id:<14} {breakdown.submitted:>8.2f} -> "
+            f"{breakdown.finished:>8.2f} s{where}  "
+            f"(mostly {dominant}: {breakdown.categories[dominant]:.2f} s)"
+        )
+    return "\n".join(lines)
+
+
+__all__ = [
+    "CATEGORIES",
+    "CriticalPath",
+    "JobBreakdown",
+    "critical_path",
+    "job_breakdown",
+    "render_critical_path",
+]

@@ -50,13 +50,24 @@ def perfetto_trace(
     probes=None,
     flows=None,
     label: str = "repro",
+    critical=None,
 ) -> dict:
-    """Build the ``{"traceEvents": [...]}`` document as plain dicts."""
+    """Build the ``{"traceEvents": [...]}`` document as plain dicts.
+
+    ``critical`` optionally takes a
+    :class:`~repro.obs.critical_path.CriticalPath`; when given, the
+    chain is rendered as an extra ``critical-path`` track (one slice
+    per chain job, category totals in ``args``).  The default (None)
+    leaves the document byte-identical to pre-explainability builds,
+    which is what pins the golden Perfetto fixture.
+    """
     if spans is None:
         spans = build_spans(trace)
     events: list[dict] = []
 
     tracks = _track_order(trace, spans)
+    if critical is not None:
+        tracks.append("critical-path")
     tids = {name: index for index, name in enumerate(tracks)}
     events.append(
         {
@@ -151,15 +162,74 @@ def perfetto_trace(
                     }
                 )
 
+    if critical is not None:
+        tid = tids["critical-path"]
+        for breakdown in critical.breakdowns:
+            args = {
+                name: round(value, 6)
+                for name, value in sorted(breakdown.categories.items())
+                if value > 0.0
+            }
+            if breakdown.worker is not None:
+                args["worker"] = breakdown.worker
+            events.append(
+                {
+                    "ph": "X",
+                    "pid": _PID,
+                    "tid": tid,
+                    "name": f"critical:{breakdown.job_id}",
+                    "cat": "critical-path",
+                    "ts": round(breakdown.submitted * _US, 3),
+                    "dur": round(breakdown.latency * _US, 3),
+                    "args": args,
+                }
+            )
+
     return {"traceEvents": events, "displayTimeUnit": "ms"}
 
 
-def write_perfetto(path, trace: Trace, spans=None, probes=None, flows=None, label="repro") -> None:
+def write_perfetto(
+    path, trace: Trace, spans=None, probes=None, flows=None, label="repro", critical=None
+) -> None:
     """Serialise :func:`perfetto_trace` to ``path``."""
-    document = perfetto_trace(trace, spans=spans, probes=probes, flows=flows, label=label)
+    document = perfetto_trace(
+        trace, spans=spans, probes=probes, flows=flows, label=label, critical=critical
+    )
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(document, handle, indent=1, sort_keys=True)
         handle.write("\n")
+
+
+def critical_path_rows(critical) -> list[tuple]:
+    """Flatten a :class:`~repro.obs.critical_path.CriticalPath` to
+    per-chain-job rows: ``(job, submitted, finished, worker, *categories)``
+    with one column per category in reporting order."""
+    from repro.obs.critical_path import CATEGORIES
+
+    rows: list[tuple] = []
+    for breakdown in critical.breakdowns:
+        rows.append(
+            (
+                breakdown.job_id,
+                breakdown.submitted,
+                breakdown.finished,
+                breakdown.worker or "",
+            )
+            + tuple(breakdown.categories.get(name, 0.0) for name in CATEGORIES)
+        )
+    return rows
+
+
+def write_critical_path_csv(path, critical) -> None:
+    """Dump the critical chain as one CSV row per chain job."""
+    from repro.obs.critical_path import CATEGORIES
+
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write("job,submitted_s,finished_s,worker," + ",".join(CATEGORIES) + "\n")
+        for row in critical_path_rows(critical):
+            job, submitted, finished, worker = row[:4]
+            values = ",".join(f"{value:g}" for value in row[4:])
+            handle.write(f"{job},{submitted:g},{finished:g},{worker},{values}\n")
 
 
 def timeseries_rows(probes) -> list[tuple[str, float, float]]:
@@ -195,8 +265,10 @@ def write_timeseries_json(path, probes) -> None:
 
 
 __all__ = [
+    "critical_path_rows",
     "perfetto_trace",
     "timeseries_rows",
+    "write_critical_path_csv",
     "write_perfetto",
     "write_timeseries_csv",
     "write_timeseries_json",

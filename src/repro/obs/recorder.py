@@ -30,6 +30,7 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Optional
 
+from repro.obs.ledger import DecisionLedger
 from repro.obs.probes import ProbeRegistry
 from repro.obs.spans import SpanContext
 
@@ -44,6 +45,9 @@ class ObsConfig:
     retention: int = 4096
     #: Record broker publish->deliver flow pairs (off for huge runs).
     flows: bool = True
+    #: Record a :class:`~repro.obs.ledger.DecisionRecord` per allocation
+    #: (observation-only; see :mod:`repro.obs.ledger`).
+    ledger: bool = True
 
     def __post_init__(self) -> None:
         if self.probe_interval_s <= 0:
@@ -95,6 +99,9 @@ class ObsRecorder:
         self._inflight: dict[tuple[str, str, str], float] = {}
         #: Pipe occupancy step series: (time, active_count) per pipe label.
         self.pipe_steps: dict[str, deque] = {}
+        #: Per-allocation decision records (None when the knob is off --
+        #: the master's hook site guards on ``is not None``).
+        self.ledger = DecisionLedger() if config.ledger else None
 
     # -- span-context threading ---------------------------------------
     def assignment_ctx(self, job_id: str) -> SpanContext:

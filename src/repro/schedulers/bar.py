@@ -73,6 +73,10 @@ class BARMasterPolicy(MasterPolicy):
         self._soa: Optional[LoadTable] = None
         #: Phase-2 moves actually performed (diagnostics/tests).
         self.adjustments = 0
+        #: Whether the assignment in flight came from the upfront plan
+        #: (vs arrival-time earliest-completion pricing) -- read by the
+        #: decision ledger, which fires inside ``master.assign``.
+        self._last_planned = False
 
     # -- cost model -----------------------------------------------------------
 
@@ -267,6 +271,7 @@ class BARMasterPolicy(MasterPolicy):
 
     def on_job(self, job: Job) -> None:
         worker = self._plan.pop(job.job_id, None)
+        self._last_planned = worker is not None
         if worker is None:
             if not self._load:
                 self._load = {name: 0.0 for name in self.master.active_workers}
@@ -280,6 +285,42 @@ class BARMasterPolicy(MasterPolicy):
             if self._soa is not None:
                 self._soa.add(worker, cost)
         self.master.assign(job, worker)
+
+    def decision_context(self, job: Job, worker: str) -> tuple:
+        """Ledger: re-price the job on every known worker (read-only --
+        the same ``_cost`` formula the planner used) and rank by the
+        estimated completion time ``load + cost``."""
+        from repro.obs.ledger import CandidateScore
+
+        names = [name for name in self._load if name in self.speed_view]
+        scored = []
+        for name in names:
+            local = self._is_local(job, name)
+            estimate = self._load[name] + self._cost(job, name, local)
+            scored.append((estimate, name, local))
+        scored.sort()
+        candidates = tuple(
+            CandidateScore(
+                worker=name,
+                score=estimate,
+                local=local,
+                detail=f"load={self._load[name]:.3f}s",
+            )
+            for estimate, name, local in scored
+        )
+        runner_up = next(
+            (name for _, name, _ in scored if name != worker), None
+        )
+        kind = "planned" if self._last_planned else "cost-min"
+        chosen_local = self._is_local(job, worker)
+        reason = (
+            "locality-first plan"
+            if self._last_planned
+            else "earliest estimated completion at arrival"
+        )
+        if chosen_local and job.repo_id:
+            reason += f"; repo {job.repo_id} already on {worker}"
+        return (kind, candidates, runner_up, reason)
 
 
 def make_bar_policy(max_adjustments: Optional[int] = None) -> SchedulerPolicy:

@@ -72,6 +72,30 @@ class MasterPolicy:
         """A new job needs allocation (source arrival or pipeline child)."""
         raise NotImplementedError
 
+    def decision_context(self, job: Job, worker: str) -> tuple:
+        """Explain the allocation of ``job`` to ``worker`` just decided.
+
+        Called from the master's assignment seam *only when the decision
+        ledger is on* (see :mod:`repro.obs.ledger`); returns
+        ``(kind, candidates, runner_up, reason)`` where ``candidates``
+        is an iterable of :class:`~repro.obs.ledger.CandidateScore`.
+
+        Implementations MUST be observation-only: read policy and fleet
+        state, mutate nothing, draw no randomness -- the ledger's
+        bit-identity contract depends on it.  The default reports the
+        active fleet with locality/queue facts from the struct-of-arrays
+        mirror when one is attached, and no scores.
+        """
+        from repro.obs.ledger import fleet_candidates
+
+        master = self.master
+        candidates = ()
+        if master is not None and master.fleet is not None:
+            candidates = fleet_candidates(
+                master.fleet, master.active_workers, job.repo_id
+            )
+        return ("assign", candidates, None, "")
+
     def on_message(self, message: object) -> bool:
         """Handle a policy-specific message from a worker.
 

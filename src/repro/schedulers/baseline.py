@@ -118,6 +118,24 @@ class BaselineMasterPolicy(MasterPolicy):
             return True
         return False
 
+    def decision_context(self, job: Job, worker: str) -> tuple:
+        """Ledger: the decision was the *worker's* (pull + accept); the
+        master only reports how many offers it took to land."""
+        from repro.obs.ledger import CandidateScore
+
+        offers = self.offer_counts.get(job.job_id, 0)
+        local = None
+        if self.master.fleet is not None and job.repo_id is not None:
+            rows = self.master.fleet.candidate_snapshot([worker], job.repo_id)
+            local = rows[0][3]
+        candidates = (CandidateScore(worker=worker, local=local),)
+        reason = f"pulled and accepted after {offers} offer(s)"
+        if local:
+            reason += f"; repo {job.repo_id} cached locally"
+        elif local is False:
+            reason += "; no local copy (second-attempt rule forced it)"
+        return ("pull-accept", candidates, None, reason)
+
     def on_worker_failed(self, worker: str, orphaned: list[Job]) -> None:
         """Forget the dead worker's parked pull and reclaim its unacked
         offers; its orphans are re-dispatched by the master and answer

@@ -128,6 +128,26 @@ class DelayMasterPolicy(MasterPolicy):
     def _local_for(self, worker: str, job: Job) -> bool:
         return job.repo_id is None or job.repo_id in self.holdings.get(worker, ())
 
+    def decision_context(self, job: Job, worker: str) -> tuple:
+        """Ledger: a non-local bind can only mean the skip budget ran out."""
+        from repro.obs.ledger import CandidateScore
+
+        local = self._local_for(worker, job)
+        candidates = (CandidateScore(worker=worker, local=local),)
+        if local:
+            reason = (
+                f"repo {job.repo_id} in the puller's holdings"
+                if job.repo_id
+                else "no data needed; any puller matches"
+            )
+            return ("local", candidates, None, reason)
+        return (
+            "skip-exhausted",
+            candidates,
+            None,
+            f"skipped past max_skips={self.max_skips}; launched non-locally",
+        )
+
     def _try_offer(self, worker: str) -> bool:
         if self._hx is not None:
             return self._try_offer_vectorized(worker)

@@ -146,6 +146,27 @@ class MatchmakingMasterPolicy(MasterPolicy):
     def _local_for(self, worker: str, job: Job) -> bool:
         return job.repo_id is None or job.repo_id in self.holdings.get(worker, ())
 
+    def decision_context(self, job: Job, worker: str) -> tuple:
+        """Ledger: locality per the holdings view distinguishes a
+        first-attempt local match from a second-attempt forced bind."""
+        from repro.obs.ledger import CandidateScore
+
+        local = self._local_for(worker, job)
+        candidates = (CandidateScore(worker=worker, local=local),)
+        if local:
+            reason = (
+                f"repo {job.repo_id} in the puller's holdings"
+                if job.repo_id
+                else "no data needed; any puller matches"
+            )
+            return ("local-pull", candidates, None, reason)
+        return (
+            "forced",
+            candidates,
+            None,
+            "second pull attempt: bound to accept without local data",
+        )
+
     def _try_offer(self, worker: str, attempt: int) -> bool:
         """Offer a job per the attempt rule; returns True if offered."""
         if not self.job_queue:

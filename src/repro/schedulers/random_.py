@@ -26,6 +26,17 @@ class RandomMasterPolicy(MasterPolicy):
     def on_job(self, job: Job) -> None:
         self.master.assign(job, self.master.arbitrary_worker())
 
+    def decision_context(self, job: Job, worker: str) -> tuple:
+        """Ledger: nothing was weighed; the pick was uniform."""
+        from repro.obs.ledger import CandidateScore
+
+        return (
+            "random",
+            (CandidateScore(worker=worker),),
+            None,
+            f"uniform pick over {len(self.master.active_workers)} active workers",
+        )
+
 
 class RoundRobinMasterPolicy(MasterPolicy):
     """Assign arriving jobs cyclically across the fleet."""
@@ -56,6 +67,17 @@ class RoundRobinMasterPolicy(MasterPolicy):
     def on_job(self, job: Job) -> None:
         assert self._cycle is not None, "policy not started"
         self.master.assign(job, next(self._cycle))
+
+    def decision_context(self, job: Job, worker: str) -> tuple:
+        """Ledger: the cycle position decided, not a comparison."""
+        from repro.obs.ledger import CandidateScore
+
+        return (
+            "round-robin",
+            (CandidateScore(worker=worker),),
+            None,
+            f"next in rotation over {len(self.master.active_workers)} active workers",
+        )
 
 
 def make_random_policy() -> SchedulerPolicy:

@@ -68,6 +68,10 @@ class SparkMasterPolicy(MasterPolicy):
         #: ``_order`` (None when the fast path is off or after fleet
         #: churn; rebuilt lazily from the authoritative dict).
         self._counts: Optional[np.ndarray] = None
+        #: Whether the assignment in flight came from the upfront plan
+        #: (vs the dynamic balanced fallback) -- read by the decision
+        #: ledger, which fires inside ``master.assign``.
+        self._last_planned = False
 
     def _executor_order(self) -> list[str]:
         """The driver's executor list, shuffled per run.
@@ -184,6 +188,7 @@ class SparkMasterPolicy(MasterPolicy):
 
     def on_job(self, job: Job) -> None:
         worker = self._plan.pop(job.job_id, None)
+        self._last_planned = worker is not None
         if worker is None:
             # A dynamically spawned job: balanced, locality-blind.
             workers = self._executor_order()
@@ -204,6 +209,53 @@ class SparkMasterPolicy(MasterPolicy):
                 worker = self._least_loaded(workers)
             self._planned_counts[worker] += 1
         self.master.assign(job, worker)
+
+    def decision_context(self, job: Job, worker: str) -> tuple:
+        """Ledger: planned (NODE_LOCAL or degraded-to-ANY) vs dynamic."""
+        from repro.obs.ledger import CandidateScore
+
+        workers = self._order or list(self.master.worker_names)
+        candidates = tuple(
+            CandidateScore(
+                worker=name,
+                score=float(self._planned_counts.get(name, 0)),
+                local=(
+                    job.repo_id is not None
+                    and job.repo_id in self.cache_view.get(name, ())
+                ),
+            )
+            for name in workers
+        )
+        others = [
+            (self._planned_counts.get(name, 0), index, name)
+            for index, name in enumerate(workers)
+            if name != worker
+        ]
+        runner_up = min(others)[2] if others else None
+        chosen_local = job.repo_id is not None and job.repo_id in self.cache_view.get(
+            worker, ()
+        )
+        if self._last_planned:
+            if chosen_local:
+                return (
+                    "planned-local",
+                    candidates,
+                    runner_up,
+                    f"plan-time NODE_LOCAL: repo {job.repo_id} in the driver's "
+                    f"block view of {worker}",
+                )
+            return (
+                "planned-any",
+                candidates,
+                runner_up,
+                "plan-time ANY: no holder with plan room; balanced by count",
+            )
+        return (
+            "dynamic",
+            candidates,
+            runner_up,
+            "dynamically spawned job: least-loaded executor, locality-blind",
+        )
 
     def _counts_mirror(self, workers: list[str]) -> np.ndarray:
         """The int64 count plane aligned with ``workers`` (= the

@@ -240,3 +240,58 @@ class TestConfigValidation:
     def test_bad_knobs_rejected(self, bad):
         with pytest.raises(ValueError):
             ExecConfig(**bad)
+
+
+class TestObservability:
+    """Wall-clock spans + decision-ledger parity on the real backend."""
+
+    def test_span_tree_links_submit_to_execute_end_to_end(self):
+        from repro.obs import build_spans, span_coverage
+
+        plan = hand_plan(slow_on_a=2, fast_on_b=2)
+        backend = ExecBackend(plan, config(trace=True))
+        report = backend.run()
+        assert report.completed == 4
+
+        trace = backend.metrics.trace
+        spans = build_spans(trace)
+        coverage = span_coverage(trace, spans)
+        assert coverage.completed_jobs == 4
+        # Every completed job's wall-clock span path must connect
+        # submit -> execute with no gaps.
+        assert coverage.fraction == 1.0, coverage.disconnected
+
+        by_job = {}
+        for span in spans:
+            by_job.setdefault(span.trace_id, {})[span.name] = span
+        for job in plan.jobs:
+            tree = by_job[job.job_id]
+            root, execute = tree["job"], tree["execute"]
+            assert execute.parent_id == root.span_id
+            assert root.start <= execute.start <= execute.end <= root.end
+            # The execute span runs on the worker the plan pinned.
+            planned = next(d.worker for d in plan.decisions if d.job_id == job.job_id)
+            assert execute.track == planned
+
+    def test_ledger_parity_with_assignment_log(self):
+        plan = hand_plan(slow_on_a=1, fast_on_b=3)
+        backend = ExecBackend(plan, config(trace=True))
+        report = backend.run()
+
+        ledger = backend.ledger
+        assert ledger is not None
+        # One wall-clock record per bind, in the same order as the
+        # report's assignment log, all plan replays on a clean run.
+        assert [
+            (r.job_id, r.worker, r.kind == "redispatch") for r in ledger.records
+        ] == list(report.assigned)
+        assert all(r.policy == "exec" and r.kind == "replay" for r in ledger.records)
+        # Candidates cover the whole fleet with live queue/locality facts.
+        for record in ledger.records:
+            assert {c.worker for c in record.candidates} == {"a", "b"}
+            assert all(c.queue_depth is not None for c in record.candidates)
+
+    def test_ledger_off_with_trace_off(self):
+        backend = ExecBackend(hand_plan(1, 1), config(trace=False))
+        backend.run()
+        assert backend.ledger is None

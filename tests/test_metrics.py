@@ -66,6 +66,39 @@ class TestTrace:
         trace.record(7.0, "offered", "j1", worker="b")
         assert trace.first("offered", "j1").worker == "a"
 
+    def test_index_catches_up_on_appends(self):
+        trace = Trace()
+        trace.record(1.0, "submitted", "j1")
+        assert len(trace.for_job("j1")) == 1
+        # Appends after a query land past the watermark and are picked up.
+        trace.record(2.0, "assigned", "j1", worker="w1")
+        assert [e.kind for e in trace.for_job("j1")] == ["submitted", "assigned"]
+
+    def test_index_rebuilds_after_truncation(self):
+        trace = Trace()
+        for t, kind in [(1.0, "submitted"), (2.0, "assigned"), (3.0, "completed")]:
+            trace.record(t, kind, "j1", worker="w1")
+        assert len(trace.for_job("j1")) == 3
+        # Truncation overshoots the watermark -> full rebuild.
+        trace.events[:] = trace.events[:1]
+        assert [e.kind for e in trace.for_job("j1")] == ["submitted"]
+
+    def test_index_blind_to_same_length_mutation_until_reset(self):
+        # The documented contract in Trace.for_job: in-place replacement
+        # at the same length is NOT detected; post-hoc surgery must
+        # reset _by_job to force a rebuild.
+        trace = Trace()
+        trace.record(1.0, "submitted", "j1")
+        trace.record(2.0, "completed", "j1", worker="w1")
+        assert len(trace.for_job("j1")) == 2
+        trace.events[1] = TraceEvent(2.0, "completed", "j2", "w1")
+        # Stale: the index still serves the old event under j1.
+        assert len(trace.for_job("j1")) == 2
+        assert trace.for_job("j2") == []
+        trace._by_job = None
+        assert [e.kind for e in trace.for_job("j1")] == ["submitted"]
+        assert [e.job_id for e in trace.for_job("j2")] == ["j2"]
+
 
 class TestCollector:
     def test_makespan(self):

@@ -1,0 +1,149 @@
+"""Explain documents and the run-diff explainer (ISSUE acceptance)."""
+
+import pytest
+
+from repro.experiments.runner import CellSpec, run_cell_observed
+from repro.obs import (
+    ObsConfig,
+    diff_runs,
+    explain_document,
+    explain_job,
+    load_explain,
+    render_diff,
+    write_explain,
+)
+
+
+def explained_run(scheduler, seed=7, workload="80%_small", profile="fast-slow"):
+    spec = CellSpec(
+        scheduler=scheduler,
+        workload=workload,
+        profile=profile,
+        seed=seed,
+        iterations=1,
+        engine_overrides=(("trace", True), ("obs", ObsConfig())),
+    )
+    results, runtime = run_cell_observed(spec)
+    document = explain_document(
+        runtime.metrics.trace,
+        ledger=runtime.obs.ledger,
+        meta={"scheduler": scheduler, "seed": seed},
+    )
+    return results[-1], document
+
+
+@pytest.fixture(scope="module")
+def two_runs():
+    """Two fixed-seed runs of the same scenario under two schedulers."""
+    result_a, doc_a = explained_run("bidding")
+    result_b, doc_b = explained_run("spark")
+    return result_a, doc_a, result_b, doc_b
+
+
+class TestDocument:
+    def test_document_shape_and_tiling(self, two_runs):
+        result, document, _, _ = two_runs
+        assert document["schema"] == 1
+        assert document["meta"]["scheduler"] == "bidding"
+        assert len(document["jobs"]) == result.jobs_completed
+        assert len(document["decisions"]) == result.jobs_completed
+        # Every per-job breakdown tiles that job's latency exactly.
+        for job_id, job in document["jobs"].items():
+            assert sum(job["categories"].values()) == pytest.approx(
+                job["finished"] - job["submitted"], abs=1e-9
+            )
+        # ... and the chain categories tile the makespan.
+        assert sum(document["categories"].values()) == pytest.approx(
+            document["makespan_s"], abs=1e-9
+        )
+
+    def test_round_trip_through_disk(self, two_runs, tmp_path):
+        _, document, _, _ = two_runs
+        path = tmp_path / "run.json"
+        write_explain(path, document)
+        assert load_explain(path) == document
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"schema": 999}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            load_explain(path)
+
+    def test_empty_trace_rejected(self):
+        from repro.metrics.trace import Trace
+
+        with pytest.raises(ValueError):
+            explain_document(Trace())
+
+
+class TestDiffAcceptance:
+    """ISSUE acceptance: per-category deltas sum to the true makespan
+    difference (within 1e-6) and every moved category names at least one
+    divergent DecisionRecord."""
+
+    def test_category_deltas_sum_to_makespan_delta(self, two_runs):
+        result_a, doc_a, result_b, doc_b = two_runs
+        diff = diff_runs(doc_a, doc_b)
+        true_delta = result_b.makespan_s - result_a.makespan_s
+        assert diff.delta == pytest.approx(true_delta, abs=1e-9)
+        assert sum(diff.categories.values()) == pytest.approx(true_delta, abs=1e-6)
+
+    def test_each_moved_category_names_a_divergent_decision(self, two_runs):
+        _, doc_a, _, doc_b = two_runs
+        diff = diff_runs(doc_a, doc_b)
+        assert diff.divergent_jobs  # two schedulers must place differently
+        moved = [name for name, delta in diff.categories.items() if abs(delta) > 1e-9]
+        assert moved  # a 5x makespan gap moves time somewhere
+        findings = {finding.category: finding for finding in diff.findings}
+        for name in moved:
+            finding = findings[name]
+            assert finding.job_id in diff.divergent_jobs
+            assert finding.decision_a is not None
+            assert finding.decision_b is not None
+            assert finding.decision_a.worker != finding.decision_b.worker
+            assert finding.decision_a.policy == "bidding"
+            assert finding.decision_b.policy == "spark"
+
+    def test_same_run_diffs_to_zero(self, two_runs):
+        _, doc_a, _, _ = two_runs
+        diff = diff_runs(doc_a, doc_a)
+        assert diff.delta == 0.0
+        assert diff.divergent_jobs == ()
+        assert diff.findings == ()
+        assert all(delta == 0.0 for delta in diff.categories.values())
+
+    def test_render_names_decisions(self, two_runs):
+        _, doc_a, _, doc_b = two_runs
+        diff = diff_runs(doc_a, doc_b)
+        text = render_diff(diff)
+        assert "run diff" in text
+        assert "bidding/seed7" in text and "spark/seed7" in text
+        for finding in diff.findings:
+            assert finding.category in text
+            if finding.job_id is not None:
+                assert finding.job_id in text
+
+
+class TestExplainJob:
+    def test_narrates_the_decision_and_the_breakdown(self, two_runs):
+        _, document, _, _ = two_runs
+        # The chain's last job is always present and on the critical path.
+        job_id = document["chain"][-1]
+        text = explain_job(document, job_id)
+        assert f"job {job_id}" in text
+        assert "bidding ->" in text
+        assert "latency" in text
+        assert "(on the critical path)" in text
+
+    def test_cache_hit_narrative_appears_somewhere(self, two_runs):
+        # The ISSUE's exemplar sentence shape: a bidding run on a shared
+        # repo must contain at least one "cache hit ... saved est." story.
+        _, document, _, _ = two_runs
+        stories = [
+            explain_job(document, job_id) for job_id in document["jobs"]
+        ]
+        assert any("cache hit on repo" in story for story in stories)
+
+    def test_unknown_job(self, two_runs):
+        _, document, _, _ = two_runs
+        assert "no trace of this job" in explain_job(document, "nope")

@@ -1,0 +1,122 @@
+"""The decision ledger: one DecisionRecord per allocation, for every
+scheduler, observation-only (bit-identical metrics with it on or off)."""
+
+import pytest
+
+from conftest import make_profile, make_spec
+from repro.engine.runtime import EngineConfig, WorkflowRuntime
+from repro.obs import CandidateScore, DecisionLedger, DecisionRecord, ObsConfig
+from repro.schedulers.registry import SCHEDULERS, make_scheduler
+from repro.workload.job import Job, JobStream
+from repro.workload.msr import TASK_ANALYZER
+
+
+def burst_stream(n=8):
+    return JobStream.burst(
+        [
+            Job(job_id=f"j{i}", task=TASK_ANALYZER, repo_id=f"r{i % 3}", size_mb=10.0)
+            for i in range(n)
+        ]
+    )
+
+
+def run_once(scheduler, obs, n=8, seed=5):
+    runtime = WorkflowRuntime(
+        profile=make_profile(make_spec("w1"), make_spec("w2"), make_spec("w3")),
+        stream=burst_stream(n),
+        scheduler=make_scheduler(scheduler),
+        config=EngineConfig(seed=seed, trace=True, obs=obs),
+    )
+    result = runtime.run()
+    return result, runtime
+
+
+class TestEmission:
+    @pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+    def test_every_scheduler_emits_one_record_per_assignment(self, scheduler):
+        result, runtime = run_once(scheduler, obs=ObsConfig())
+        ledger = runtime.obs.ledger
+        assert ledger is not None
+        # One record per assignment: completed jobs all have a final
+        # record, and the count matches the trace's assigned events.
+        assigned = runtime.metrics.trace.of_kind("assigned")
+        assert len(ledger.records) == len(assigned)
+        assert result.jobs_completed == 8
+        for i in range(8):
+            record = ledger.final_for_job(f"j{i}")
+            assert record is not None
+            assert record.policy == scheduler
+            assert record.worker in ("w1", "w2", "w3")
+            assert record.reason  # every policy narrates its pick
+
+    @pytest.mark.parametrize("scheduler", sorted(SCHEDULERS))
+    def test_records_match_trace_assignments(self, scheduler):
+        _, runtime = run_once(scheduler, obs=ObsConfig())
+        ledger = runtime.obs.ledger
+        assigned = runtime.metrics.trace.of_kind("assigned")
+        for record, event in zip(ledger.records, assigned):
+            assert record.job_id == event.job_id
+            assert record.worker == event.worker
+            assert record.time == event.time
+
+    def test_bidding_records_carry_scored_candidates(self):
+        _, runtime = run_once("bidding", obs=ObsConfig())
+        for record in runtime.obs.ledger.records:
+            assert record.kind in ("contest", "fallback")
+            if record.kind == "contest":
+                assert len(record.candidates) >= 1
+                chosen = record.candidate(record.worker)
+                assert chosen is not None and chosen.score is not None
+                if record.runner_up is not None:
+                    beaten = record.candidate(record.runner_up)
+                    # Lower bid wins; ties impossible under (cost, name) sort.
+                    assert chosen.score <= beaten.score
+
+    def test_ledger_off_means_no_ledger(self):
+        _, runtime = run_once("bidding", obs=ObsConfig(ledger=False))
+        assert runtime.obs.ledger is None
+
+
+class TestObservationOnly:
+    """Seed purity: the ledger may not perturb the run."""
+
+    @pytest.mark.parametrize("scheduler", ["bidding", "baseline", "spark", "random"])
+    def test_metrics_bit_identical_with_ledger_on_or_off(self, scheduler):
+        on, _ = run_once(scheduler, obs=ObsConfig(ledger=True))
+        off, _ = run_once(scheduler, obs=ObsConfig(ledger=False))
+        bare, _ = run_once(scheduler, obs=False)
+        for other in (off, bare):
+            assert on.makespan_s == other.makespan_s
+            assert on.cache_misses == other.cache_misses
+            assert on.cache_hits == other.cache_hits
+            assert on.data_load_mb == other.data_load_mb
+            assert on.jobs_completed == other.jobs_completed
+
+    def test_trace_bit_identical_with_ledger_on_or_off(self):
+        _, on = run_once("bidding", obs=ObsConfig(ledger=True))
+        _, off = run_once("bidding", obs=ObsConfig(ledger=False))
+        assert on.metrics.trace.events == off.metrics.trace.events
+
+
+class TestRoundTrip:
+    def test_records_survive_json_round_trip(self):
+        _, runtime = run_once("bidding", obs=ObsConfig())
+        ledger = runtime.obs.ledger
+        clone = DecisionLedger.from_dicts(ledger.to_dicts())
+        assert clone.records == ledger.records
+        assert clone.final_for_job("j0") == ledger.final_for_job("j0")
+
+    def test_candidate_lookup_and_defaults(self):
+        record = DecisionRecord(
+            seq=0,
+            time=1.0,
+            job_id="j",
+            repo_id="r",
+            worker="w1",
+            policy="p",
+            kind="k",
+            candidates=(CandidateScore(worker="w1", score=2.0, local=True),),
+        )
+        assert record.candidate("w1").local is True
+        assert record.candidate("w9") is None
+        assert DecisionRecord.from_dict(record.to_dict()) == record
